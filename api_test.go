@@ -1,0 +1,203 @@
+package threadscan_test
+
+import (
+	"errors"
+	"testing"
+
+	"threadscan"
+)
+
+// Facade-level integration tests: everything a downstream user touches
+// goes through the public package.
+
+func newSim(seed int64) *threadscan.Sim {
+	return threadscan.NewSimulation(threadscan.SimConfig{
+		Cores:     2,
+		Seed:      seed,
+		MaxCycles: 10_000_000_000,
+		Heap:      threadscan.HeapConfig{Words: 1 << 20, Check: true, Poison: true},
+	})
+}
+
+func TestQuickstartShape(t *testing.T) {
+	sim := newSim(1)
+	ts := threadscan.New(sim, threadscan.Config{BufferSize: 32})
+	list := threadscan.NewList(sim, ts, 0)
+	finished := 0
+	for i := 0; i < 3; i++ {
+		sim.Spawn("w", func(th *threadscan.Thread) {
+			rng := th.RNG()
+			for j := 0; j < 400; j++ {
+				key := uint64(rng.Intn(128)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					list.Insert(th, key)
+				case 1:
+					list.Remove(th, key)
+				default:
+					list.Contains(th, key)
+				}
+			}
+			finished++
+			if finished == 3 {
+				ts.Flush(th)
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := ts.Core().Stats()
+	if st.Frees == 0 || st.Collects == 0 {
+		t.Fatalf("no reclamation activity: %+v", st)
+	}
+	if st.Frees != st.Reclaimed+uint64(ts.Core().Buffered()) {
+		t.Fatalf("free accounting broken: %+v buffered=%d", st, ts.Core().Buffered())
+	}
+}
+
+func TestViolationTypeSurfaces(t *testing.T) {
+	sim := newSim(2)
+	sim.Spawn("bad", func(th *threadscan.Thread) {
+		th.Alloc(0, 32)
+		th.FreeAddr(th.Reg(0))
+		th.Load(1, 0, 0)
+	})
+	err := sim.Run()
+	var v *threadscan.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("facade did not surface *Violation: %v", err)
+	}
+}
+
+func TestAllConstructorsOnHashTable(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(*threadscan.Sim) threadscan.Scheme
+	}{
+		{"leaky", func(s *threadscan.Sim) threadscan.Scheme { return threadscan.NewLeaky(s) }},
+		{"hazard", func(s *threadscan.Sim) threadscan.Scheme {
+			return threadscan.NewHazard(s, threadscan.HazardConfig{Slots: 4, Batch: 32})
+		}},
+		{"epoch", func(s *threadscan.Sim) threadscan.Scheme {
+			return threadscan.NewEpoch(s, threadscan.EpochConfig{Batch: 32})
+		}},
+		{"slow-epoch", func(s *threadscan.Sim) threadscan.Scheme {
+			return threadscan.NewSlowEpoch(s, 32, 50_000)
+		}},
+		{"threadscan", func(s *threadscan.Sim) threadscan.Scheme {
+			return threadscan.New(s, threadscan.Config{BufferSize: 32})
+		}},
+		{"stacktrack", func(s *threadscan.Sim) threadscan.Scheme {
+			return threadscan.NewStackTrack(s, threadscan.StackTrackConfig{Batch: 32})
+		}},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			sim := newSim(3)
+			sc := b.build(sim)
+			h := threadscan.NewHashTable(sim, sc, 8, 0)
+			sim.Spawn("w", func(th *threadscan.Thread) {
+				for k := uint64(1); k <= 64; k++ {
+					if !h.Insert(th, k) {
+						t.Errorf("insert %d failed", k)
+					}
+				}
+				for k := uint64(1); k <= 64; k += 2 {
+					if !h.Remove(th, k) {
+						t.Errorf("remove %d failed", k)
+					}
+				}
+				for r := 0; r < 16; r++ {
+					th.SetReg(r, 0)
+				}
+				sc.Flush(th)
+			})
+			if err := sim.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if h.Len() != 32 {
+				t.Fatalf("len = %d", h.Len())
+			}
+			st := sc.Stats()
+			if b.name == "leaky" {
+				if st.Leaked != 32 {
+					t.Fatalf("leaky stats: %+v", st)
+				}
+			} else if st.Retired != 32 || st.Freed != 32 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestSkipListViaFacade(t *testing.T) {
+	sim := newSim(5)
+	sc := threadscan.NewHazard(sim, threadscan.HazardConfig{
+		Slots: threadscan.SkipListHazardSlots, Batch: 16})
+	sl := threadscan.NewSkipList(sim, sc)
+	sim.Spawn("w", func(th *threadscan.Thread) {
+		for k := uint64(1); k <= 100; k++ {
+			sl.Insert(th, k)
+		}
+		for k := uint64(1); k <= 100; k++ {
+			if !sl.Contains(th, k) {
+				t.Errorf("lost key %d", k)
+			}
+		}
+		for k := uint64(2); k <= 100; k += 2 {
+			sl.Remove(th, k)
+		}
+		for r := 0; r < 16; r++ {
+			th.SetReg(r, 0)
+		}
+		sc.Flush(th)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 50 {
+		t.Fatalf("len = %d", sl.Len())
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	r, err := threadscan.RunExperiment(threadscan.Experiment{
+		DS: "hash", Scheme: "threadscan", Threads: 2, Cores: 2,
+		Duration: 1_000_000, Seed: 1,
+		KeyRange: 256, Prefill: 128, Buckets: 8,
+		BufferSize: 64, Batch: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.FinalSize == 0 {
+		t.Fatalf("empty experiment result: %+v", r)
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	fig, err := threadscan.RunFig3("list", threadscan.SweepParams{
+		Scale:        threadscan.ScaleQuick,
+		ThreadCounts: []int{1},
+		Cores:        1,
+		Duration:     500_000,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 || len(fig.Series[0].Results) != 1 {
+		t.Fatalf("figure shape: %+v", fig)
+	}
+}
+
+func TestKeyBoundsExported(t *testing.T) {
+	if threadscan.MinKey != 1 || threadscan.MaxKey <= threadscan.MinKey {
+		t.Fatalf("key bounds: %d..%d", threadscan.MinKey, threadscan.MaxKey)
+	}
+	if threadscan.DefaultCosts().Fence == 0 {
+		t.Fatal("cost model empty")
+	}
+}

@@ -1,0 +1,533 @@
+// Package core implements ThreadScan (Alistarh, Leiserson, Matveev,
+// Shavit — SPAA'15): automatic concurrent memory reclamation by
+// signal-driven stack scanning.
+//
+// The protocol, exactly as in the paper's Algorithm 1 plus the §4.2
+// implementation details:
+//
+//   - Each thread owns a bounded delete buffer (an SPSC ring).  Free
+//     appends the retired node; the node must already be unlinked
+//     (Assumption 1.1).
+//   - When a thread's buffer is full it becomes the reclaimer: it takes
+//     the reclamation lock, aggregates every thread's buffer into a
+//     sorted master buffer, and signals all other threads (TS-Collect).
+//   - Each signaled thread — in its signal handler, wherever it happens
+//     to be, including blocked in a lock or spinning in application
+//     code — scans its registers and stack word by word, binary-searches
+//     each word in the master buffer, marks hits, and ACKs (TS-Scan).
+//   - The reclaimer scans itself, waits for all ACKs, then frees every
+//     unmarked node.  Marked nodes may still be referenced and are
+//     re-buffered for the next phase.
+//
+// The §4.3 extension (AddHeapBlock/RemoveHeapBlock) lets a thread
+// register private heap regions to be scanned along with its stack, and
+// the §7 future-work idea — sharing free() work with scanners — is
+// implemented behind Config.HelpFree for ablation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"threadscan/internal/simt"
+)
+
+// DefaultBufferSize is the per-thread delete buffer capacity used in the
+// paper's evaluation ("configured to store up to 1024 pointers per
+// thread", §6).
+const DefaultBufferSize = 1024
+
+// LookupKind selects how TS-Scan tests a stack word for membership in
+// the master buffer.  The paper sorts and binary-searches (§4.1); the
+// alternatives exist for the A3 ablation.
+type LookupKind int
+
+const (
+	// LookupBinary sorts the master buffer and binary-searches each
+	// word (the paper's design).
+	LookupBinary LookupKind = iota
+	// LookupLinear scans the master buffer linearly per word.
+	LookupLinear
+	// LookupHash builds a hash set over the master buffer.
+	LookupHash
+)
+
+func (k LookupKind) String() string {
+	switch k {
+	case LookupBinary:
+		return "binary"
+	case LookupLinear:
+		return "linear"
+	case LookupHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("LookupKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a ThreadScan instance.
+type Config struct {
+	// BufferSize is the per-thread delete buffer capacity.  Defaults to
+	// DefaultBufferSize (1024); the paper tunes 4096 for the
+	// oversubscribed hash table.
+	BufferSize int
+
+	// Signal is the simulated signal number used for scan requests.
+	Signal simt.SigNum
+
+	// Lookup selects the scan membership structure (ablation A3).
+	Lookup LookupKind
+
+	// HelpFree enables the paper's §7 future-work extension: unmarked
+	// nodes are queued and freed in chunks by the *next* phase's
+	// scanners instead of all by the reclaimer, trading reclaimer
+	// latency for handler work.
+	HelpFree bool
+
+	// HelpFreeChunk is how many queued nodes one scanner frees per
+	// TS-Scan when HelpFree is on.  Defaults to 128.
+	HelpFreeChunk int
+}
+
+func (c *Config) fill() {
+	if c.BufferSize <= 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.HelpFreeChunk <= 0 {
+		c.HelpFreeChunk = 128
+	}
+}
+
+// Stats aggregates protocol activity.
+type Stats struct {
+	Frees           uint64 // nodes handed to Free
+	Collects        uint64 // reclamation phases
+	AvoidedCollects uint64 // buffer drained while waiting for the lock
+	Reclaimed       uint64 // nodes freed to the allocator
+	Remarked        uint64 // nodes found referenced, re-buffered
+	ScannedWords    uint64 // stack+register+heap-block words examined
+	ScannedThreads  uint64 // TS-Scan executions (incl. reclaimer's own)
+	HelpFreed       uint64 // nodes freed by scanners (HelpFree mode)
+	MaxMaster       int    // largest master buffer seen
+	HandlerCycles   int64  // virtual cycles spent inside scan handlers
+	CollectCycles   int64  // virtual cycles spent inside TS-Collect
+}
+
+// ThreadScan is one reclamation domain shared by all threads of a
+// simulation.  Create it with New before Sim.Run; it hooks thread
+// start/exit and installs the scan signal handler.
+type ThreadScan struct {
+	sim *simt.Sim
+	cfg Config
+
+	lock *simt.Mutex // at most one reclaimer (paper §4.2)
+
+	perThread  []*tsThread
+	registered []bool
+
+	// Collect state (valid while lock is held).
+	master   []uint64
+	marks    []bool
+	hashSet  map[uint64]int
+	acksGot  int
+	acksNeed int
+
+	orphans     []uint64 // buffered nodes of exited threads
+	pendingFree []uint64 // HelpFree: unmarked nodes awaiting the next phase
+	helpQueue   []uint64 // HelpFree: queue scanners drain during this phase
+
+	stats Stats
+}
+
+// tsThread is the per-thread state.
+type tsThread struct {
+	ring       *Ring
+	heapBlocks [][2]uint64 // {startAddr, words} private regions (§4.3)
+}
+
+// New creates a ThreadScan domain bound to sim and installs its hooks.
+// Call before sim.Run.
+func New(sim *simt.Sim, cfg Config) *ThreadScan {
+	cfg.fill()
+	ts := &ThreadScan{sim: sim, cfg: cfg, lock: sim.NewMutex("threadscan.reclaim")}
+	sim.SetSignalHandler(cfg.Signal, ts.scanHandler)
+	sim.OnThreadStart(ts.threadStart)
+	sim.OnThreadExit(ts.threadExit)
+	return ts
+}
+
+// Stats returns a snapshot of protocol counters.
+func (ts *ThreadScan) Stats() Stats { return ts.stats }
+
+// BufferSize returns the per-thread delete buffer capacity.
+func (ts *ThreadScan) BufferSize() int { return ts.cfg.BufferSize }
+
+// threadStart registers a thread with the domain (the analog of the
+// paper's pthread_create hook).
+func (ts *ThreadScan) threadStart(t *simt.Thread) {
+	ts.lock.Lock(t)
+	id := t.ID()
+	for len(ts.perThread) <= id {
+		ts.perThread = append(ts.perThread, nil)
+		ts.registered = append(ts.registered, false)
+	}
+	ts.perThread[id] = &tsThread{ring: NewRing(ts.cfg.BufferSize)}
+	ts.registered[id] = true
+	ts.lock.Unlock(t)
+}
+
+// threadExit deregisters a thread, moving its unprocessed buffer to the
+// orphan list so its nodes are still reclaimed by future collects.
+func (ts *ThreadScan) threadExit(t *simt.Thread) {
+	ts.lock.Lock(t)
+	id := t.ID()
+	ts.registered[id] = false
+	var n int
+	ts.orphans, n = ts.perThread[id].ring.Drain(ts.orphans)
+	t.Charge(int64(n) * ts.costs().Load)
+	ts.lock.Unlock(t)
+}
+
+// Free is the paper's free(): hand an *unlinked* node to the
+// reclamation domain.  The node must be unreachable from shared memory
+// (Assumption 1.1); ThreadScan decides when it is safe to deallocate.
+// When the calling thread's buffer is full, Free triggers TS-Collect
+// and does not return until the phase completes.
+func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
+	addr &^= 7 // tolerate mark bits; the buffer stores node bases
+	c := ts.costs()
+	t.Charge(c.Store + c.Step)
+	ts.stats.Frees++
+	tt := ts.perThread[t.ID()]
+	if tt.ring.Push(addr) {
+		return
+	}
+	// Buffer full: become the reclaimer (or discover someone else just
+	// drained us while we waited for the lock — paper §4.2: "a thread
+	// waiting to become a reclaimer will probably discover that its
+	// buffer has been drained ... and that it can go back to work").
+	ts.lock.Lock(t)
+	if tt.ring.Push(addr) {
+		ts.stats.AvoidedCollects++
+		ts.lock.Unlock(t)
+		return
+	}
+	ts.collect(t)
+	if !tt.ring.Push(addr) {
+		// The collect re-buffered more marked (still-referenced) nodes
+		// than the ring holds; park the newcomer with the orphans, the
+		// next master buffer includes both.
+		ts.orphans = append(ts.orphans, addr)
+	}
+	ts.lock.Unlock(t)
+}
+
+// Collect forces a reclamation phase from thread t, regardless of
+// buffer occupancy.  Used by tests, teardown, and the harness.
+func (ts *ThreadScan) Collect(t *simt.Thread) {
+	ts.lock.Lock(t)
+	ts.collect(t)
+	ts.lock.Unlock(t)
+}
+
+// AddHeapBlock registers a thread-private heap region to be scanned
+// along with t's stack and registers (§4.3 extension).  startAddr must
+// be word-aligned; length is in bytes.
+func (ts *ThreadScan) AddHeapBlock(t *simt.Thread, startAddr uint64, length int) {
+	if startAddr%8 != 0 {
+		panic("core: AddHeapBlock start not word-aligned")
+	}
+	tt := ts.perThread[t.ID()]
+	tt.heapBlocks = append(tt.heapBlocks, [2]uint64{startAddr, uint64((length + 7) / 8)})
+	t.Charge(ts.costs().Store)
+}
+
+// RemoveHeapBlock unregisters a region previously added by AddHeapBlock.
+func (ts *ThreadScan) RemoveHeapBlock(t *simt.Thread, startAddr uint64, length int) {
+	tt := ts.perThread[t.ID()]
+	want := [2]uint64{startAddr, uint64((length + 7) / 8)}
+	for i, b := range tt.heapBlocks {
+		if b == want {
+			tt.heapBlocks = append(tt.heapBlocks[:i], tt.heapBlocks[i+1:]...)
+			t.Charge(ts.costs().Store)
+			return
+		}
+	}
+	panic("core: RemoveHeapBlock of unregistered block")
+}
+
+// Buffered returns the number of retired-but-unreclaimed nodes across
+// all buffers (diagnostics and leak accounting).
+func (ts *ThreadScan) Buffered() int {
+	n := len(ts.orphans) + len(ts.pendingFree) + len(ts.helpQueue)
+	for _, tt := range ts.perThread {
+		if tt != nil {
+			n += tt.ring.Len()
+		}
+	}
+	return n
+}
+
+// FlushAll runs collect phases from thread t until no buffered nodes
+// remain or progress stops (nodes still referenced by live threads).
+// It returns the number of nodes still buffered.  Intended for
+// teardown, after application threads have dropped their references.
+func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
+	for i := 0; i < 4; i++ {
+		if ts.Buffered() == 0 {
+			return 0
+		}
+		before := ts.stats.Reclaimed + ts.stats.HelpFreed
+		ts.lock.Lock(t)
+		ts.collect(t)
+		// collect defers this phase's unmarked nodes under HelpFree;
+		// at teardown, free them immediately.
+		for _, addr := range ts.pendingFree {
+			ts.freeNode(t, addr)
+		}
+		ts.pendingFree = ts.pendingFree[:0]
+		ts.lock.Unlock(t)
+		if ts.stats.Reclaimed+ts.stats.HelpFreed == before {
+			break
+		}
+	}
+	return ts.Buffered()
+}
+
+func (ts *ThreadScan) costs() simt.CostModel { return ts.sim.Config().Costs }
+
+// collect is TS-Collect (Algorithm 1, lines 1–16).  Caller holds the
+// reclamation lock.
+func (ts *ThreadScan) collect(t *simt.Thread) {
+	c := ts.costs()
+	start := t.Cycles()
+	ts.stats.Collects++
+
+	// HelpFree: the previous phase's unmarked nodes become this phase's
+	// help queue — scanners free chunks of it inside their handlers
+	// (§7: "TS-Scan would then check to see whether there are any
+	// pending nodes to free (from a previous iteration)").
+	ts.helpQueue = append(ts.helpQueue, ts.pendingFree...)
+	ts.pendingFree = ts.pendingFree[:0]
+
+	// Aggregate all delete buffers into the master buffer (§4.2's
+	// distributed-buffer design).
+	ts.master = ts.master[:0]
+	for id, tt := range ts.perThread {
+		if tt == nil || !ts.registered[id] {
+			continue
+		}
+		var n int
+		ts.master, n = tt.ring.Drain(ts.master)
+		t.Charge(int64(n) * (c.Load + c.Step))
+	}
+	if len(ts.orphans) > 0 {
+		ts.master = append(ts.master, ts.orphans...)
+		t.Charge(int64(len(ts.orphans)) * (c.Load + c.Step))
+		ts.orphans = ts.orphans[:0]
+	}
+	if len(ts.master) == 0 {
+		return
+	}
+	if len(ts.master) > ts.stats.MaxMaster {
+		ts.stats.MaxMaster = len(ts.master)
+	}
+
+	// Sort (Algorithm 1 line 2) so scans can binary-search.
+	switch ts.cfg.Lookup {
+	case LookupBinary, LookupLinear:
+		sort.Slice(ts.master, func(i, j int) bool { return ts.master[i] < ts.master[j] })
+		t.Charge(int64(len(ts.master)) * int64(log2ceil(len(ts.master))) * 2 * c.Step)
+	case LookupHash:
+		if ts.hashSet == nil {
+			ts.hashSet = make(map[uint64]int, len(ts.master))
+		} else {
+			clear(ts.hashSet)
+		}
+		for i, a := range ts.master {
+			ts.hashSet[a] = i
+		}
+		t.Charge(int64(len(ts.master)) * (c.Store + 2*c.Step))
+	}
+	if cap(ts.marks) < len(ts.master) {
+		ts.marks = make([]bool, len(ts.master))
+	} else {
+		ts.marks = ts.marks[:len(ts.master)]
+		for i := range ts.marks {
+			ts.marks[i] = false
+		}
+	}
+
+	// Signal every other registered thread (lines 3–5).  Exited threads
+	// deregister under the lock, so everyone signaled will ACK.
+	ts.acksGot, ts.acksNeed = 0, 0
+	threads := ts.sim.Threads()
+	for id := range ts.registered {
+		if !ts.registered[id] || id == t.ID() {
+			continue
+		}
+		if t.Signal(threads[id], ts.cfg.Signal) {
+			ts.acksNeed++
+		}
+	}
+
+	// Scan our own stack and registers (line 7).
+	ts.scanThread(t)
+
+	// Wait for all ACKs (line 9).  The wait burns reclaimer cycles —
+	// the cost Figure 4 charges to oversubscription.
+	for ts.acksGot < ts.acksNeed {
+		t.Pause()
+	}
+
+	// Sweep (lines 11–15): free unmarked nodes, re-buffer marked ones.
+	// Under HelpFree, unmarked nodes are deferred to the next phase's
+	// scanners instead of being freed here.
+	tt := ts.perThread[t.ID()]
+	for i, addr := range ts.master {
+		if ts.marks[i] {
+			ts.stats.Remarked++
+			if !tt.ring.Push(addr) {
+				ts.orphans = append(ts.orphans, addr)
+			}
+			t.Charge(c.Store)
+			continue
+		}
+		if ts.cfg.HelpFree {
+			ts.pendingFree = append(ts.pendingFree, addr)
+			t.Charge(c.Store)
+		} else {
+			ts.freeNode(t, addr)
+		}
+	}
+	// Whatever this phase's scanners did not help-free, the reclaimer
+	// finishes, bounding deferral to one phase.
+	ts.drainHelpQueue(t)
+	ts.stats.CollectCycles += t.Cycles() - start
+}
+
+// freeNode returns a proven-unreferenced node to the allocator.
+func (ts *ThreadScan) freeNode(t *simt.Thread, addr uint64) {
+	t.FreeAddr(addr)
+	ts.stats.Reclaimed++
+}
+
+// drainHelpQueue frees every remaining help-queue node.  The queue is
+// stolen in one step (atomic between safepoints) because freeNode
+// passes safepoints, during which scanners' helpFree could otherwise
+// pop — and double-free — the same entries.
+func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
+	q := ts.helpQueue
+	ts.helpQueue = nil
+	for _, addr := range q {
+		ts.freeNode(t, addr)
+	}
+}
+
+// scanHandler is TS-Scan (Algorithm 1, lines 18–26), run in the signal
+// handler of every signaled thread.
+func (ts *ThreadScan) scanHandler(t *simt.Thread) {
+	h0 := t.HandlerCycles()
+	if ts.cfg.HelpFree {
+		ts.helpFree(t)
+	}
+	ts.scanThread(t)
+	// ACK (line 25): a store visible to the reclaimer.
+	c := ts.costs()
+	t.Charge(c.Store + c.Fence)
+	ts.acksGot++
+	ts.stats.HandlerCycles += t.HandlerCycles() - h0
+}
+
+// helpFree frees up to one chunk of the previous phase's unmarked nodes
+// (§7 future work).  Safe for any thread: queued nodes are already
+// proven unreferenced.
+func (ts *ThreadScan) helpFree(t *simt.Thread) {
+	n := ts.cfg.HelpFreeChunk
+	if n > len(ts.helpQueue) {
+		n = len(ts.helpQueue)
+	}
+	for i := 0; i < n; i++ {
+		// Pop before freeing: FreeAddr passes a safepoint, and another
+		// scanner (or the reclaimer's drain) must not see this entry.
+		addr := ts.helpQueue[len(ts.helpQueue)-1]
+		ts.helpQueue = ts.helpQueue[:len(ts.helpQueue)-1]
+		t.FreeAddr(addr)
+		ts.stats.HelpFreed++
+	}
+}
+
+// scanThread scans t's registers, stack, and registered heap blocks
+// against the master buffer, marking hits.
+func (ts *ThreadScan) scanThread(t *simt.Thread) {
+	ts.stats.ScannedThreads++
+	words := 0
+	t.ScanRoots(func(w uint64) {
+		words++
+		ts.probe(t, w)
+	})
+	for _, blk := range ts.perThread[t.ID()].heapBlocks {
+		for i := uint64(0); i < blk[1]; i++ {
+			w := t.LoadAddr(blk[0] + i*8)
+			words++
+			ts.probe(t, w)
+		}
+	}
+	ts.stats.ScannedWords += uint64(words)
+}
+
+// probe masks the word's low-order bits (§4.2 "Pointer Operations") and
+// looks it up in the master buffer, marking on a hit.  The three lookup
+// structures are semantically identical; they differ only in cost.
+func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
+	c := ts.costs()
+	t.Charge(2 * c.Step) // mask + range check
+	p := w &^ 7
+	if p == 0 || !ts.sim.Heap().Contains(p) {
+		return
+	}
+	idx := -1
+	switch ts.cfg.Lookup {
+	case LookupBinary:
+		lo, hi := 0, len(ts.master)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			t.Charge(c.Load + c.Step)
+			if ts.master[mid] < p {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ts.master) && ts.master[lo] == p {
+			idx = lo
+		}
+	case LookupLinear:
+		for i, a := range ts.master {
+			t.Charge(c.Load)
+			if a == p {
+				idx = i
+				break
+			}
+		}
+	case LookupHash:
+		t.Charge(c.Load + 3*c.Step)
+		if i, ok := ts.hashSet[p]; ok {
+			idx = i
+		}
+	}
+	if idx >= 0 && !ts.marks[idx] {
+		ts.marks[idx] = true
+		t.Charge(c.Store)
+	}
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

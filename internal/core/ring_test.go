@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPushDrain(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(1); i <= 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(5) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if !r.Full() || r.Len() != 4 {
+		t.Fatalf("Full=%v Len=%d", r.Full(), r.Len())
+	}
+	out, n := r.Drain(nil)
+	if n != 4 || len(out) != 4 {
+		t.Fatalf("drained %d", n)
+	}
+	for i, v := range out {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO order broken: %v", out)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("ring not empty after drain")
+	}
+}
+
+func TestRingWrapsAround(t *testing.T) {
+	r := NewRing(3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(uint64(round*3 + i)) {
+				t.Fatal("push failed")
+			}
+		}
+		out, _ := r.Drain(nil)
+		for i, v := range out {
+			if v != uint64(round*3+i) {
+				t.Fatalf("round %d: %v", round, out)
+			}
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap %d", r.Cap())
+	}
+	if !r.Push(9) || r.Push(10) {
+		t.Fatal("capacity-1 semantics broken")
+	}
+}
+
+// TestQuickRingFIFO property-checks that any interleaving of pushes and
+// drains preserves FIFO order and never loses or duplicates values.
+func TestQuickRingFIFO(t *testing.T) {
+	f := func(capRaw uint8, ops []bool) bool {
+		capacity := int(capRaw)%16 + 1
+		r := NewRing(capacity)
+		next := uint64(0)     // next value to push
+		expected := uint64(0) // next value we must see on drain
+		for _, push := range ops {
+			if push {
+				if r.Push(next) {
+					next++
+				} else if r.Len() != capacity {
+					return false // refused while not full
+				}
+			} else {
+				out, _ := r.Drain(nil)
+				for _, v := range out {
+					if v != expected {
+						return false
+					}
+					expected++
+				}
+			}
+		}
+		out, _ := r.Drain(nil)
+		for _, v := range out {
+			if v != expected {
+				return false
+			}
+			expected++
+		}
+		return expected == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

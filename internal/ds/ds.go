@@ -1,0 +1,79 @@
+// Package ds implements the paper's three benchmark data structures
+// (§6 "Data Structures") against the simulated substrate:
+//
+//   - List: Harris' lock-free linked list [20], adapted as in the
+//     paper from the Herlihy–Shavit text [25], with nodes padded to
+//     172 bytes to avoid false sharing.
+//   - HashTable: the Synchrobench-derived lock-free hash table whose
+//     buckets are Harris lists (the paper replaced the bucket
+//     implementation with the [25] list; so does this one).
+//   - SkipList: the lock-based lazy skip list, with fixed-size nodes
+//     (the paper's are 104 bytes, "the maximum size due to height").
+//
+// Every operation follows the register/stack discipline: each node
+// address a thread may dereference lives in a simulated register or a
+// stack slot at every safepoint, which is what makes ThreadScan's scans
+// sound (Assumption 1.3).  Scheme cooperation is woven in at the three
+// standard touch points — BeginOp/EndOp brackets, Protect on traversal
+// steps (hazard/publish disciplines), and Retire on unlink.
+package ds
+
+import (
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// Set is the common concurrent-set interface the harness drives.
+type Set interface {
+	// Insert adds key, reporting false if it was already present.
+	Insert(th *simt.Thread, key uint64) bool
+	// Remove deletes key, reporting false if it was absent.
+	Remove(th *simt.Thread, key uint64) bool
+	// Contains reports whether key is present (the unsynchronized
+	// traversal the paper's scalability argument rests on).
+	Contains(th *simt.Thread, key uint64) bool
+	// Name identifies the structure in reports.
+	Name() string
+}
+
+// Register conventions shared by all structures.  A traversal's live
+// references sit in these registers, where TS-Scan finds them.
+const (
+	rPrev = 0 // link-word address (head word or prev.next field)
+	rCurr = 1 // current node
+	rNext = 2 // successor (may carry a mark bit)
+	rNode = 3 // new node / victim node
+	rTmp  = 4
+	rTmp2 = 5
+	rVal  = 6 // validation scratch (hazard re-reads)
+	rHead = 7 // structure entry point
+)
+
+// Hazard slot conventions: traversals alternate slots 0 and 1 so the
+// previous node stays protected while the next is published (Michael's
+// two-hazard list discipline); slot 2 protects skip-list victims.
+const (
+	hpA      = 0
+	hpB      = 1
+	hpVictim = 2
+)
+
+// MinKey and MaxKey bound usable key values; the extremes are reserved
+// for sentinels.
+const (
+	MinKey = uint64(1)
+	MaxKey = uint64(1) << 62
+)
+
+// disciplined reports whether the scheme wants per-step Protect calls.
+func disciplined(sc reclaim.Scheme) bool {
+	return sc.Discipline() != reclaim.DisciplineNone
+}
+
+// validate re-reads the link word in rPrev and confirms it still points
+// at rCurr (unmarked).  Hazard traversals call this after publishing;
+// false means restart from the head.
+func validate(th *simt.Thread) bool {
+	th.Load(rVal, rPrev, 0)
+	return th.Reg(rVal) == th.Reg(rCurr)
+}

@@ -1,0 +1,385 @@
+package ds
+
+import (
+	"sort"
+	"testing"
+
+	"threadscan/internal/core"
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simmem"
+	"threadscan/internal/simt"
+)
+
+func testSim(cores int, seed int64) *simt.Sim {
+	return simt.New(simt.Config{
+		Cores:      cores,
+		Quantum:    10_000,
+		Seed:       seed,
+		MaxCycles:  20_000_000_000,
+		StackWords: 256,
+		Heap:       simmem.Config{Words: 1 << 21, Check: true, Poison: true},
+	})
+}
+
+// makeScheme builds a scheme by name, with hazard slots sized for the
+// skip list and small batches so tests reclaim eagerly.
+func makeScheme(name string, sim *simt.Sim) reclaim.Scheme {
+	switch name {
+	case "leaky":
+		return reclaim.NewLeaky(sim)
+	case "hazard":
+		return reclaim.NewHazard(sim, reclaim.HazardConfig{Slots: SkipListHazardSlots, Batch: 64})
+	case "epoch":
+		return reclaim.NewEpoch(sim, reclaim.EpochConfig{Batch: 64})
+	case "threadscan":
+		return reclaim.NewThreadScan(sim, core.Config{BufferSize: 64})
+	case "stacktrack":
+		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{SegmentLen: 8, Batch: 64})
+	default:
+		panic("unknown scheme " + name)
+	}
+}
+
+var allSchemes = []string{"leaky", "hazard", "epoch", "threadscan", "stacktrack"}
+
+// makeSet builds a structure by kind.
+func makeSet(kind string, sim *simt.Sim, sc reclaim.Scheme) Set {
+	switch kind {
+	case "list":
+		return NewList(sim, sc, 0)
+	case "hash":
+		return NewHashTable(sim, sc, 16, 0)
+	case "skiplist":
+		return NewSkipList(sim, sc)
+	default:
+		panic("unknown set " + kind)
+	}
+}
+
+var allSets = []string{"list", "hash", "skiplist"}
+
+// setLen reads the structure size outside the simulation.
+func setLen(s Set) int {
+	switch v := s.(type) {
+	case *List:
+		return v.Len()
+	case *HashTable:
+		return v.Len()
+	case *SkipList:
+		return v.Len()
+	}
+	return -1
+}
+
+func setKeys(s Set) []uint64 {
+	switch v := s.(type) {
+	case *List:
+		return v.Keys()
+	case *HashTable:
+		return v.Keys()
+	case *SkipList:
+		return v.Keys()
+	}
+	return nil
+}
+
+// TestSequentialSemantics drives each structure single-threaded against
+// a model map, for every scheme (the scheme must not change semantics).
+func TestSequentialSemantics(t *testing.T) {
+	for _, kind := range allSets {
+		for _, scheme := range allSchemes {
+			kind, scheme := kind, scheme
+			t.Run(kind+"/"+scheme, func(t *testing.T) {
+				s := testSim(1, 42)
+				sc := makeScheme(scheme, s)
+				set := makeSet(kind, s, sc)
+				model := map[uint64]bool{}
+				s.Spawn("driver", func(th *simt.Thread) {
+					rng := th.RNG()
+					for i := 0; i < 400; i++ {
+						key := uint64(rng.Intn(60)) + 1
+						switch rng.Intn(3) {
+						case 0:
+							want := !model[key]
+							if got := set.Insert(th, key); got != want {
+								t.Errorf("Insert(%d) = %v, want %v", key, got, want)
+							}
+							model[key] = true
+						case 1:
+							want := model[key]
+							if got := set.Remove(th, key); got != want {
+								t.Errorf("Remove(%d) = %v, want %v", key, got, want)
+							}
+							delete(model, key)
+						default:
+							want := model[key]
+							if got := set.Contains(th, key); got != want {
+								t.Errorf("Contains(%d) = %v, want %v", key, got, want)
+							}
+						}
+					}
+					sc.Flush(th)
+				})
+				if err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if got := setLen(set); got != len(model) {
+					t.Fatalf("final size %d, model %d", got, len(model))
+				}
+				keys := setKeys(set)
+				if len(keys) != len(model) {
+					t.Fatalf("keys %d, model %d", len(keys), len(model))
+				}
+				for _, k := range keys {
+					if !model[k] {
+						t.Fatalf("stray key %d", k)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestListKeysSorted(t *testing.T) {
+	s := testSim(1, 7)
+	sc := reclaim.NewLeaky(s)
+	l := NewList(s, sc, 0)
+	s.Spawn("driver", func(th *simt.Thread) {
+		for _, k := range []uint64{5, 3, 9, 1, 7, 2, 8} {
+			l.Insert(th, k)
+		}
+		l.Remove(th, 3)
+		l.Remove(th, 8)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("list not sorted: %v", keys)
+	}
+	want := []uint64{1, 2, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestInsertDuplicateFreesUnpublishedNode(t *testing.T) {
+	// A lost insert race (or plain duplicate) must not leak the
+	// never-published node.
+	s := testSim(1, 8)
+	sc := reclaim.NewLeaky(s) // leaky: only *retired* nodes may remain
+	l := NewList(s, sc, 0)
+	s.Spawn("driver", func(th *simt.Thread) {
+		l.Insert(th, 10)
+		for i := 0; i < 5; i++ {
+			if l.Insert(th, 10) {
+				t.Error("duplicate insert succeeded")
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One node + head word live; duplicates were freed.
+	if live := s.Heap().Stats().LiveBlocks; live != 2 {
+		t.Fatalf("live blocks = %d, want 2 (head word + one node)", live)
+	}
+}
+
+func TestHashSpreadsAcrossBuckets(t *testing.T) {
+	s := testSim(1, 9)
+	sc := reclaim.NewLeaky(s)
+	h := NewHashTable(s, sc, 8, 0)
+	s.Spawn("driver", func(th *simt.Thread) {
+		for k := uint64(1); k <= 64; k++ {
+			h.Insert(th, k)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 64 {
+		t.Fatalf("len %d", h.Len())
+	}
+	// With 64 keys over 8 buckets no bucket should be empty or hold
+	// more than half the keys (fibonacci hashing sanity check).
+	counts := map[int]int{}
+	for _, k := range h.Keys() {
+		counts[int((k*0x9E3779B97F4A7C15)>>32&uint64(h.Buckets()-1))]++
+	}
+	for b := 0; b < h.Buckets(); b++ {
+		if counts[b] == 0 || counts[b] > 32 {
+			t.Fatalf("bucket %d has %d keys", b, counts[b])
+		}
+	}
+}
+
+func TestSkipListLevelsDistribution(t *testing.T) {
+	s := testSim(1, 10)
+	sc := reclaim.NewLeaky(s)
+	sl := NewSkipList(s, sc)
+	s.Spawn("driver", func(th *simt.Thread) {
+		for k := uint64(1); k <= 512; k++ {
+			sl.Insert(th, k)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 512 {
+		t.Fatalf("len %d", sl.Len())
+	}
+	// Height-2+ nodes should be roughly half; just check some exist at
+	// higher levels by walking level 3.
+	h := s.Heap()
+	n := 0
+	for p := h.Load(sl.head + (slNext+3)*8); p != 0 && p != sl.tail; p = h.Load(p + (slNext+3)*8) {
+		n++
+	}
+	if n == 0 || n > 200 {
+		t.Fatalf("level-3 population %d implausible for 512 nodes", n)
+	}
+}
+
+// TestConcurrentStressAllSchemes is the central integration test: every
+// structure under every scheme, multi-threaded, on the checked heap.
+// Any unsound reclamation panics the run.  Afterwards, op accounting
+// must balance: prefill + successful inserts - successful removes =
+// final size.
+func TestConcurrentStressAllSchemes(t *testing.T) {
+	for _, kind := range allSets {
+		for _, scheme := range allSchemes {
+			kind, scheme := kind, scheme
+			t.Run(kind+"/"+scheme, func(t *testing.T) {
+				s := testSim(3, 1234)
+				sc := makeScheme(scheme, s)
+				set := makeSet(kind, s, sc)
+				const nThreads, opsEach, keyRange = 4, 250, 64
+				inserts := make([]int, nThreads)
+				removes := make([]int, nThreads)
+				prefilled := 0
+				barrier := s.NewBarrier("start", nThreads)
+				for i := 0; i < nThreads; i++ {
+					i := i
+					s.Spawn("worker", func(th *simt.Thread) {
+						if i == 0 { // prefill half the range
+							for k := uint64(1); k <= keyRange/2; k++ {
+								if set.Insert(th, k) {
+									prefilled++
+								}
+							}
+						}
+						barrier.Await(th)
+						rng := th.RNG()
+						for j := 0; j < opsEach; j++ {
+							key := uint64(rng.Intn(keyRange)) + 1
+							switch rng.Intn(10) {
+							case 0, 1: // 20% updates split half/half
+								if set.Insert(th, key) {
+									inserts[i]++
+								}
+							case 2, 3:
+								if set.Remove(th, key) {
+									removes[i]++
+								}
+							default:
+								set.Contains(th, key)
+							}
+						}
+						// Teardown protocol: drop every stale reference
+						// (registers) in *all* threads first, then each
+						// thread flushes its own retire lists.
+						barrier.Await(th)
+						for r := 0; r < simt.NumRegs; r++ {
+							th.SetReg(r, 0)
+						}
+						barrier.Await(th)
+						sc.Flush(th)
+					})
+				}
+				if err := s.Run(); err != nil {
+					t.Fatalf("%s/%s: %v", kind, scheme, err)
+				}
+				totalIns, totalRem := prefilled, 0
+				for i := 0; i < nThreads; i++ {
+					totalIns += inserts[i]
+					totalRem += removes[i]
+				}
+				if got := setLen(set); got != totalIns-totalRem {
+					t.Fatalf("%s/%s: size %d != inserts %d - removes %d",
+						kind, scheme, got, totalIns, totalRem)
+				}
+				// No duplicate keys may survive.
+				keys := setKeys(set)
+				seen := map[uint64]bool{}
+				for _, k := range keys {
+					if seen[k] {
+						t.Fatalf("%s/%s: duplicate key %d", kind, scheme, k)
+					}
+					seen[k] = true
+				}
+				// Leak accounting: non-leaky schemes must have freed
+				// every retired node once all threads flushed.
+				st := sc.Stats()
+				if scheme != "leaky" && st.Retired != st.Freed {
+					t.Fatalf("%s/%s: retired %d != freed %d (pending %d)",
+						kind, scheme, st.Retired, st.Freed, st.Pending)
+				}
+				if scheme == "leaky" && st.Retired > 0 && s.Heap().Stats().LiveBlocks == uint64(setLen(set)) {
+					t.Fatalf("leaky: retired nodes seem to have been freed")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosInterleavings runs the stress under chaos scheduling with
+// several seeds — the schedule-fuzzing analog of running the paper's
+// stress on different machines.
+func TestChaosInterleavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stress skipped in -short")
+	}
+	for _, kind := range allSets {
+		for _, seed := range []int64{3, 17} {
+			kind := kind
+			seed := seed
+			t.Run(kind, func(t *testing.T) {
+				s := simt.New(simt.Config{
+					Cores: 2, Quantum: 1_500, Seed: seed, Chaos: true,
+					MaxCycles:  20_000_000_000,
+					StackWords: 256,
+					Heap:       simmem.Config{Words: 1 << 21, Check: true, Poison: true},
+				})
+				sc := makeScheme("threadscan", s)
+				set := makeSet(kind, s, sc)
+				for i := 0; i < 4; i++ {
+					s.Spawn("worker", func(th *simt.Thread) {
+						rng := th.RNG()
+						for j := 0; j < 150; j++ {
+							key := uint64(rng.Intn(40)) + 1
+							switch rng.Intn(3) {
+							case 0:
+								set.Insert(th, key)
+							case 1:
+								set.Remove(th, key)
+							default:
+								set.Contains(th, key)
+							}
+						}
+						sc.Flush(th)
+					})
+				}
+				if err := s.Run(); err != nil {
+					t.Fatalf("%s seed %d: %v", kind, seed, err)
+				}
+			})
+		}
+	}
+}

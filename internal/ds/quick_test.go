@@ -1,0 +1,239 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// TestQuickModelEquivalence property-checks each structure against a
+// model map over random operation sequences (sequential, ThreadScan
+// reclamation): every Insert/Remove/Contains result must match the
+// model, and the final key set must be identical.
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, kind := range allSets {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			f := func(seed int64, opsRaw []byte) bool {
+				s := testSim(1, seed)
+				sc := makeScheme("threadscan", s)
+				set := makeSet(kind, s, sc)
+				model := map[uint64]bool{}
+				ok := true
+				s.Spawn("driver", func(th *simt.Thread) {
+					for _, b := range opsRaw {
+						key := uint64(b%31) + 1
+						switch (b >> 5) % 3 {
+						case 0:
+							if set.Insert(th, key) == model[key] {
+								ok = false
+							}
+							model[key] = true
+						case 1:
+							if set.Remove(th, key) != model[key] {
+								ok = false
+							}
+							delete(model, key)
+						default:
+							if set.Contains(th, key) != model[key] {
+								ok = false
+							}
+						}
+					}
+					sc.Flush(th)
+				})
+				if err := s.Run(); err != nil {
+					t.Log(err)
+					return false
+				}
+				if !ok {
+					return false
+				}
+				keys := setKeys(set)
+				if len(keys) != len(model) {
+					return false
+				}
+				for _, k := range keys {
+					if !model[k] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickConcurrentAccounting property-checks the op-accounting
+// invariant under concurrency for random seeds: prefill + successful
+// inserts - successful removes == final size, with no duplicates.
+func TestQuickConcurrentAccounting(t *testing.T) {
+	f := func(seedRaw uint8, kindRaw uint8, schemeRaw uint8) bool {
+		kind := allSets[int(kindRaw)%len(allSets)]
+		scheme := allSchemes[int(schemeRaw)%len(allSchemes)]
+		s := testSim(3, int64(seedRaw)+100)
+		sc := makeScheme(scheme, s)
+		set := makeSet(kind, s, sc)
+		const nThreads = 3
+		ins := make([]int, nThreads)
+		rem := make([]int, nThreads)
+		for i := 0; i < nThreads; i++ {
+			i := i
+			s.Spawn("w", func(th *simt.Thread) {
+				rng := th.RNG()
+				for j := 0; j < 80; j++ {
+					key := uint64(rng.Intn(24)) + 1
+					switch rng.Intn(3) {
+					case 0:
+						if set.Insert(th, key) {
+							ins[i]++
+						}
+					case 1:
+						if set.Remove(th, key) {
+							rem[i]++
+						}
+					default:
+						set.Contains(th, key)
+					}
+				}
+				for r := 0; r < simt.NumRegs; r++ {
+					th.SetReg(r, 0)
+				}
+				sc.Flush(th)
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Logf("%s/%s: %v", kind, scheme, err)
+			return false
+		}
+		totalIns, totalRem := 0, 0
+		for i := range ins {
+			totalIns += ins[i]
+			totalRem += rem[i]
+		}
+		if setLen(set) != totalIns-totalRem {
+			t.Logf("%s/%s: size %d vs %d-%d", kind, scheme, setLen(set), totalIns, totalRem)
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, k := range setKeys(set) {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkipListKeyBoundsEnforced: keys colliding with sentinels panic.
+func TestSkipListKeyBoundsEnforced(t *testing.T) {
+	s := testSim(1, 3)
+	sc := reclaim.NewLeaky(s)
+	sl := NewSkipList(s, sc)
+	s.Spawn("driver", func(th *simt.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("key 0 accepted")
+			}
+		}()
+		sl.Insert(th, 0)
+	})
+	_ = s.Run()
+}
+
+// TestSkipListConcurrentSameKey: two threads fight over one key; the
+// lazy algorithm must serialize them without losing or duplicating it.
+func TestSkipListConcurrentSameKey(t *testing.T) {
+	s := testSim(2, 5)
+	sc := makeScheme("threadscan", s)
+	sl := NewSkipList(s, sc)
+	var ins, rem int
+	for i := 0; i < 2; i++ {
+		s.Spawn("fighter", func(th *simt.Thread) {
+			for j := 0; j < 200; j++ {
+				if sl.Insert(th, 7) {
+					ins++
+				}
+				if sl.Remove(th, 7) {
+					rem++
+				}
+			}
+			for r := 0; r < simt.NumRegs; r++ {
+				th.SetReg(r, 0)
+			}
+			sc.Flush(th)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ins-rem != sl.Len() {
+		t.Fatalf("ins %d rem %d len %d", ins, rem, sl.Len())
+	}
+	if sl.Len() != 0 && sl.Len() != 1 {
+		t.Fatalf("impossible final len %d", sl.Len())
+	}
+}
+
+// TestListNodePadding: the paper pads list nodes to 172 bytes; the
+// allocator must reserve at least that much per node.
+func TestListNodePadding(t *testing.T) {
+	s := testSim(1, 7)
+	sc := reclaim.NewLeaky(s)
+	l := NewList(s, sc, 0) // default = paper's 172
+	s.Spawn("driver", func(th *simt.Thread) {
+		before := s.Heap().Stats().LiveBytes
+		l.Insert(th, 42)
+		delta := s.Heap().Stats().LiveBytes - before
+		if delta < 172 {
+			t.Errorf("node reserved only %d bytes", delta)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashBucketIsolation: operations on keys of one bucket never
+// disturb another bucket's chain.
+func TestHashBucketIsolation(t *testing.T) {
+	s := testSim(1, 9)
+	sc := reclaim.NewLeaky(s)
+	h := NewHashTable(s, sc, 4, 0)
+	s.Spawn("driver", func(th *simt.Thread) {
+		for k := uint64(1); k <= 200; k++ {
+			h.Insert(th, k)
+		}
+		// Remove everything in one bucket's key set.
+		removed := 0
+		for k := uint64(1); k <= 200; k++ {
+			if (k*0x9E3779B97F4A7C15)>>32&3 == 0 {
+				if h.Remove(th, k) {
+					removed++
+				}
+			}
+		}
+		if h.Len() != 200-removed {
+			t.Errorf("len %d after removing %d", h.Len(), removed)
+		}
+		// Every remaining key is still found.
+		for k := uint64(1); k <= 200; k++ {
+			want := (k*0x9E3779B97F4A7C15)>>32&3 != 0
+			if h.Contains(th, k) != want {
+				t.Errorf("key %d presence wrong", k)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

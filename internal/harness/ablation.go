@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"threadscan/internal/core"
+)
+
+// Ablations for the design choices DESIGN.md calls out (A1-A4).  Each
+// returns its rows and can render itself as a table.
+
+// BufferRow is one point of the delete-buffer-size ablation (A1 — the
+// paper's §6 tuning: "increasing the size of the delete buffer ... is a
+// useful way of amortizing the cost of signals and of waiting.
+// However, it also increases the size of the list of pointers").
+type BufferRow struct {
+	BufferSize int
+	Result     Result
+}
+
+// AblationBuffer sweeps the per-thread delete buffer size on the
+// oversubscribed hash table.
+func AblationBuffer(sizes []int, p SweepParams, threads int) ([]BufferRow, error) {
+	p.fill(4)
+	if len(sizes) == 0 {
+		sizes = []int{32, 64, 128, 256, 512, 1024}
+	}
+	if threads <= 0 {
+		threads = p.Cores * 4
+	}
+	var rows []BufferRow
+	for _, b := range sizes {
+		cfg := baseConfig("hash", p)
+		cfg.Scheme = "threadscan"
+		cfg.Threads = threads
+		cfg.Cores = p.Cores
+		cfg.BufferSize = b
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BufferRow{BufferSize: b, Result: r})
+	}
+	return rows, nil
+}
+
+// WriteBufferTable renders the A1 ablation.
+func WriteBufferTable(w io.Writer, rows []BufferRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A1: delete-buffer size (oversubscribed hash table)")
+	fmt.Fprintln(tw, "buffer\tthroughput\tcollects\tmax_master\tsignals")
+	for _, row := range rows {
+		c := row.Result.Core
+		fmt.Fprintf(tw, "%d\t%.0f\t%d\t%d\t%d\n",
+			row.BufferSize, row.Result.Throughput, c.Collects, c.MaxMaster,
+			row.Result.Sim.SignalsSent)
+	}
+	return tw.Flush()
+}
+
+// LookupRow is one point of the scan-lookup ablation (A3 — sorted
+// binary search, the paper's §4.1 design, vs linear scan vs hash set).
+type LookupRow struct {
+	Lookup core.LookupKind
+	Result Result
+}
+
+// AblationLookup compares TS-Scan membership structures on the list.
+func AblationLookup(p SweepParams, threads int) ([]LookupRow, error) {
+	p.fill(3)
+	if threads <= 0 {
+		threads = p.Cores
+	}
+	var rows []LookupRow
+	for _, k := range []core.LookupKind{core.LookupBinary, core.LookupLinear, core.LookupHash} {
+		cfg := baseConfig("list", p)
+		cfg.Scheme = "threadscan"
+		cfg.Threads = threads
+		cfg.Cores = p.Cores
+		cfg.Lookup = k
+		// Linear lookup is quadratic in the master buffer; keep the
+		// buffers modest so the ablation finishes.
+		cfg.BufferSize = 256
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LookupRow{Lookup: k, Result: r})
+	}
+	return rows, nil
+}
+
+// WriteLookupTable renders the A3 ablation.
+func WriteLookupTable(w io.Writer, rows []LookupRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A3: TS-Scan lookup structure (list, buffer 256)")
+	fmt.Fprintln(tw, "lookup\tthroughput\thandler_cycles\tscanned_words")
+	for _, row := range rows {
+		c := row.Result.Core
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\n",
+			row.Lookup, row.Result.Throughput, c.HandlerCycles, c.ScannedWords)
+	}
+	return tw.Flush()
+}
+
+// ScanCostRow is one point of the scan-overhead breakdown (A2 — "Stack
+// scans are the main source of overhead for ThreadScan, although ...
+// the overhead is well amortized across threads and against reclaimed
+// nodes", §1.2).
+type ScanCostRow struct {
+	Threads int
+	Result  Result
+}
+
+// AblationScanCost measures scan overhead vs thread count on the list,
+// with and without HelpFree (the §7 latency-sharing extension).
+func AblationScanCost(p SweepParams, helpFree bool) ([]ScanCostRow, error) {
+	p.fill(3)
+	var rows []ScanCostRow
+	for _, n := range p.ThreadCounts {
+		cfg := baseConfig("list", p)
+		cfg.Scheme = "threadscan"
+		cfg.Threads = n
+		cfg.Cores = p.Cores
+		cfg.HelpFree = helpFree
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScanCostRow{Threads: n, Result: r})
+	}
+	return rows, nil
+}
+
+// WriteScanCostTable renders the A2 ablation: handler cycles per
+// reclaimed node and the handler share of total cycles.
+func WriteScanCostTable(w io.Writer, rows []ScanCostRow, helpFree bool) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# A2: scan cost breakdown (list, HelpFree=%v)\n", helpFree)
+	fmt.Fprintln(tw, "threads\tthroughput\tcollects\treclaimed\thandler_cyc/node\tcollect_cyc/node")
+	for _, row := range rows {
+		c := row.Result.Core
+		reclaimed := c.Reclaimed + c.HelpFreed
+		if reclaimed == 0 {
+			reclaimed = 1
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%d\t%d\t%.1f\t%.1f\n",
+			row.Threads, row.Result.Throughput, c.Collects, reclaimed,
+			float64(c.HandlerCycles)/float64(reclaimed),
+			float64(c.CollectCycles)/float64(reclaimed))
+	}
+	return tw.Flush()
+}
+
+// StallRow is one point of the errant-thread experiment (A4): the same
+// application stall under Epoch vs ThreadScan.
+type StallRow struct {
+	Scheme string
+	Result Result
+}
+
+// AblationStall injects a periodically stalled thread (thread 0 runs
+// one empty operation stalled for stallCycles every stallEvery ops) and
+// compares schemes.  Epoch reclaimers inherit the stall; ThreadScan's
+// signal handler runs *inside* the stalled thread, so collects finish
+// regardless — the paper's central liveness claim (§1.2, §2).
+func AblationStall(p SweepParams, threads int, stallEvery int, stallCycles int64) ([]StallRow, error) {
+	p.fill(3)
+	if threads <= 0 {
+		threads = p.Cores
+	}
+	if stallEvery <= 0 {
+		stallEvery = 200
+	}
+	if stallCycles <= 0 {
+		stallCycles = 2_000_000 // 2ms
+	}
+	var rows []StallRow
+	for _, scheme := range []string{"epoch", "threadscan"} {
+		cfg := baseConfig("list", p)
+		cfg.Scheme = scheme
+		cfg.Threads = threads
+		cfg.Cores = p.Cores
+		cfg.StallEvery = stallEvery
+		cfg.StallCycles = stallCycles
+		// Small batches so reclamation happens often enough to overlap
+		// the stall windows.
+		cfg.Batch = 32
+		cfg.BufferSize = 64
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StallRow{Scheme: scheme, Result: r})
+	}
+	return rows, nil
+}
+
+// WriteStallTable renders the A4 experiment.
+func WriteStallTable(w io.Writer, rows []StallRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A4: errant stalled thread (list; thread 0 stalls mid-operation)")
+	fmt.Fprintln(tw, "scheme\tthroughput\treclaim_passes\tgrace_wait_cycles\tfreed")
+	for _, row := range rows {
+		st := row.Result.Scheme
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\n",
+			row.Scheme, row.Result.Throughput, st.ReclaimPasses,
+			st.GraceWaitCycles, st.Freed)
+	}
+	return tw.Flush()
+}

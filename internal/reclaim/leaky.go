@@ -1,0 +1,47 @@
+package reclaim
+
+import "threadscan/internal/simt"
+
+// Leaky is the paper's baseline: "the original memory leaking
+// data-structure implementation without any memory reclamation" (§6).
+// Retire is a no-op that abandons the node; nothing is ever freed.  It
+// is the throughput ceiling every real scheme is measured against.
+type Leaky struct {
+	stats Stats
+}
+
+// NewLeaky creates the leaking baseline.  The sim parameter is accepted
+// for constructor symmetry; Leaky installs no hooks.
+func NewLeaky(_ *simt.Sim) *Leaky { return &Leaky{} }
+
+// Name implements Scheme.
+func (l *Leaky) Name() string { return "leaky" }
+
+// Discipline implements Scheme: no per-read work.
+func (l *Leaky) Discipline() Discipline { return DisciplineNone }
+
+// BeginOp implements Scheme (no-op).
+func (l *Leaky) BeginOp(*simt.Thread) {}
+
+// EndOp implements Scheme (no-op).
+func (l *Leaky) EndOp(*simt.Thread) {}
+
+// Protect implements Scheme (no-op, no validation required).
+func (l *Leaky) Protect(*simt.Thread, int, int) bool { return false }
+
+// Retire implements Scheme by leaking the node.
+func (l *Leaky) Retire(t *simt.Thread, addr uint64) {
+	t.Charge(1)
+	l.stats.Retired++
+	l.stats.Leaked++
+}
+
+// Flush implements Scheme; the graveyard is permanent.
+func (l *Leaky) Flush(*simt.Thread) int { return int(l.stats.Leaked) }
+
+// Stats implements Scheme.
+func (l *Leaky) Stats() Stats {
+	s := l.stats
+	s.Pending = s.Leaked
+	return s
+}

@@ -1,0 +1,102 @@
+// Package reclaim defines the common interface for concurrent memory
+// reclamation schemes and implements every technique the paper
+// evaluates (§6 "Techniques"):
+//
+//   - Leaky        — no reclamation (the paper's baseline ceiling)
+//   - Hazard       — hazard pointers (Michael), per-read publication
+//   - Epoch        — epoch-based reclamation (Harris/McKenney)
+//   - Slow Epoch   — Epoch with an errant delayed thread (Epoch config)
+//   - ThreadScan   — adapter over internal/core (the contribution)
+//   - StackTrack   — extension: a non-HTM analog of StackTrack's
+//     split-operation published live-sets (the paper's §1.1/[2] comparator)
+//
+// Data structures talk to schemes through three touch points, mirroring
+// how the paper instruments its benchmarks: BeginOp/EndOp around every
+// operation (epochs), Protect on traversal steps (hazards / publication),
+// and Retire for unlinked nodes.
+package reclaim
+
+import "threadscan/internal/simt"
+
+// Discipline describes what per-access cooperation a scheme demands of
+// data-structure code.  This is exactly the paper's programmability
+// axis: ThreadScan and Leaky need none, epochs need per-op brackets,
+// hazard pointers need per-read publication and validation.
+type Discipline int
+
+const (
+	// DisciplineNone: no per-read work (Leaky, Epoch, ThreadScan).
+	DisciplineNone Discipline = iota
+	// DisciplineHazard: publish each about-to-be-dereferenced pointer
+	// and re-validate the link before trusting it.
+	DisciplineHazard
+	// DisciplinePublish: publish traversal state periodically, no
+	// validation (StackTrack-style split operations).
+	DisciplinePublish
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case DisciplineNone:
+		return "none"
+	case DisciplineHazard:
+		return "hazard"
+	case DisciplinePublish:
+		return "publish"
+	default:
+		return "unknown"
+	}
+}
+
+// Scheme is a concurrent memory reclamation scheme.  All methods are
+// called from the acting thread's own context.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+
+	// Discipline reports the per-access cooperation contract.
+	Discipline() Discipline
+
+	// BeginOp brackets the start of one data-structure operation.
+	BeginOp(t *simt.Thread)
+
+	// EndOp brackets the end of one operation.  Schemes that reclaim at
+	// quiescent points (Epoch, StackTrack) do their reclamation here.
+	EndOp(t *simt.Thread)
+
+	// Protect publishes register reg's value under the per-thread slot
+	// index, returning true when the caller must re-validate the link
+	// it read the pointer from before dereferencing (hazard pointers).
+	Protect(t *simt.Thread, slot int, reg int) bool
+
+	// Retire hands over a node that has been unlinked from every shared
+	// reference (the paper's free()).  The scheme decides when the
+	// underlying memory is returned to the allocator.
+	Retire(t *simt.Thread, addr uint64)
+
+	// Flush reclaims everything still reclaimable; called at teardown
+	// after application threads have dropped their references.  Returns
+	// the number of nodes the scheme still holds (0 for full reclaim;
+	// Leaky reports its whole graveyard).
+	Flush(t *simt.Thread) int
+
+	// Stats returns scheme counters.
+	Stats() Stats
+}
+
+// Stats aggregates scheme activity.  Fields not applicable to a scheme
+// stay zero.
+type Stats struct {
+	Retired         uint64 // nodes handed to Retire
+	Freed           uint64 // nodes returned to the allocator
+	Leaked          uint64 // nodes the scheme will never free (Leaky)
+	Pending         uint64 // nodes currently buffered
+	ReclaimPasses   uint64 // scans / grace periods / collects
+	GraceWaits      uint64 // blocking waits for other threads
+	GraceWaitCycles int64  // virtual cycles spent in those waits
+	Protects        uint64 // Protect calls (hazard/publish traffic)
+}
+
+// maxThreadID sizes per-thread state arrays.  Schemes grow their
+// arrays in thread-start hooks; 1024 bounds the simulations used here.
+const maxThreadID = 1024

@@ -1,0 +1,61 @@
+package reclaim
+
+import (
+	"threadscan/internal/core"
+	"threadscan/internal/simt"
+)
+
+// ThreadScan adapts the core ThreadScan protocol (internal/core) to the
+// Scheme interface.  This is the paper's contribution wired into the
+// same harness as the baselines: no per-op brackets, no per-read
+// publication — the application just calls Retire, exactly the "fully
+// automatic" interface of §1.2.
+type ThreadScan struct {
+	ts    *core.ThreadScan
+	stats Stats
+}
+
+// NewThreadScan creates a ThreadScan domain bound to sim.
+func NewThreadScan(sim *simt.Sim, cfg core.Config) *ThreadScan {
+	return &ThreadScan{ts: core.New(sim, cfg)}
+}
+
+// Core exposes the underlying protocol instance (stats, heap-block
+// extension, explicit collects).
+func (s *ThreadScan) Core() *core.ThreadScan { return s.ts }
+
+// Name implements Scheme.
+func (s *ThreadScan) Name() string { return "threadscan" }
+
+// Discipline implements Scheme: fully automatic, no per-read work.
+func (s *ThreadScan) Discipline() Discipline { return DisciplineNone }
+
+// BeginOp implements Scheme (no-op — nothing to bracket).
+func (s *ThreadScan) BeginOp(*simt.Thread) {}
+
+// EndOp implements Scheme (no-op).
+func (s *ThreadScan) EndOp(*simt.Thread) {}
+
+// Protect implements Scheme (no-op; scans find references themselves).
+func (s *ThreadScan) Protect(*simt.Thread, int, int) bool { return false }
+
+// Retire implements Scheme via the paper's free().
+func (s *ThreadScan) Retire(t *simt.Thread, addr uint64) {
+	s.ts.Free(t, addr)
+}
+
+// Flush implements Scheme.
+func (s *ThreadScan) Flush(t *simt.Thread) int {
+	return s.ts.FlushAll(t)
+}
+
+// Stats implements Scheme, translated from the core protocol counters.
+func (s *ThreadScan) Stats() Stats {
+	c := s.ts.Stats()
+	return Stats{
+		Retired:       c.Frees,
+		Freed:         c.Reclaimed + c.HelpFreed,
+		Pending:       uint64(s.ts.Buffered()),
+		ReclaimPasses: c.Collects,
+	}
+}

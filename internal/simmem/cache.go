@@ -1,0 +1,102 @@
+package simmem
+
+// Cache is a per-thread allocation cache in the style of TCMalloc's
+// thread caches: small per-class LIFO magazines that batch traffic to
+// and from the heap's central free lists.  Each simulated thread owns
+// one Cache; because the scheduler serializes threads, caches need no
+// synchronization, but they still matter for fidelity — the paper's
+// evaluation runs on TCMalloc precisely because a scalable allocator is
+// a prerequisite for measuring reclamation overhead rather than malloc
+// contention.
+type Cache struct {
+	heap    *Heap
+	classes [numClasses]cacheClass
+}
+
+type cacheClass struct {
+	blocks []uint64
+}
+
+// cacheCapacity is the per-class magazine size; refills move
+// cacheBatch blocks at a time.
+const (
+	cacheCapacity = 64
+	cacheBatch    = 32
+)
+
+// NewCache creates a thread cache bound to the heap.
+func (h *Heap) NewCache() *Cache {
+	return &Cache{heap: h}
+}
+
+// Alloc allocates a block of at least size bytes, preferring the cache.
+func (c *Cache) Alloc(size int) uint64 {
+	if size <= 0 {
+		panic("simmem: Alloc of non-positive size")
+	}
+	words := (size + WordSize - 1) / WordSize
+	if words > maxSmallWords {
+		return c.heap.allocSpan(words)
+	}
+	cls := classFor(words)
+	cc := &c.classes[cls]
+	if len(cc.blocks) == 0 {
+		c.refill(cls)
+		c.heap.stats.CacheMisses++
+	} else {
+		c.heap.stats.CacheHits++
+	}
+	addr := cc.blocks[len(cc.blocks)-1]
+	cc.blocks = cc.blocks[:len(cc.blocks)-1]
+	c.heap.finishAlloc(addr, classWords[cls])
+	return addr
+}
+
+// Free returns the block at addr to the cache, spilling half the
+// magazine to the central list when it overflows.
+func (c *Cache) Free(addr uint64) {
+	words := c.heap.checkFree(addr)
+	if words > maxSmallWords {
+		c.heap.freeSpan(addr, words)
+		return
+	}
+	cls := classFor(words)
+	cc := &c.classes[cls]
+	cc.blocks = append(cc.blocks, addr)
+	if len(cc.blocks) > cacheCapacity {
+		spill := len(cc.blocks) / 2
+		c.heap.central[cls].blocks = append(c.heap.central[cls].blocks, cc.blocks[:spill]...)
+		n := copy(cc.blocks, cc.blocks[spill:])
+		cc.blocks = cc.blocks[:n]
+		c.heap.stats.CentralFrees += uint64(spill)
+	}
+}
+
+// refill moves up to cacheBatch blocks from the central list (carving a
+// fresh page if needed) into the cache.
+func (c *Cache) refill(cls int) {
+	h := c.heap
+	if len(h.central[cls].blocks) == 0 {
+		h.carvePage(cls)
+	}
+	take := cacheBatch
+	if n := len(h.central[cls].blocks); take > n {
+		take = n
+	}
+	from := h.central[cls].blocks
+	c.classes[cls].blocks = append(c.classes[cls].blocks, from[len(from)-take:]...)
+	h.central[cls].blocks = from[:len(from)-take]
+}
+
+// Flush returns every cached block to the central lists.  Used at
+// thread exit.
+func (c *Cache) Flush() {
+	for cls := range c.classes {
+		cc := &c.classes[cls]
+		if len(cc.blocks) > 0 {
+			c.heap.central[cls].blocks = append(c.heap.central[cls].blocks, cc.blocks...)
+			c.heap.stats.CentralFrees += uint64(len(cc.blocks))
+			cc.blocks = cc.blocks[:0]
+		}
+	}
+}

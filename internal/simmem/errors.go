@@ -1,0 +1,55 @@
+package simmem
+
+import "fmt"
+
+// ViolationKind classifies memory-safety violations detected by the
+// checked heap.  The whole point of the checked heap is that an unsound
+// reclamation scheme produces one of these instead of silent corruption.
+type ViolationKind int
+
+const (
+	VNilDeref     ViolationKind = iota // access through simulated nil
+	VUnaligned                         // address not word-aligned
+	VWildAccess                        // address outside the arena or in an uncarved page
+	VUseAfterFree                      // access to a word whose block was freed
+	VDoubleFree                        // free of an already-free block
+	VBadFree                           // free of a non-base or interior address
+	VOutOfMemory                       // arena exhausted
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case VNilDeref:
+		return "nil dereference"
+	case VUnaligned:
+		return "unaligned access"
+	case VWildAccess:
+		return "wild access"
+	case VUseAfterFree:
+		return "use after free"
+	case VDoubleFree:
+		return "double free"
+	case VBadFree:
+		return "bad free"
+	case VOutOfMemory:
+		return "out of memory"
+	default:
+		return "unknown violation"
+	}
+}
+
+// Violation describes a detected memory-safety violation.  The heap
+// panics with *Violation; tests that expect one recover it.
+type Violation struct {
+	Kind   ViolationKind
+	Addr   uint64
+	Op     string // "load", "store", "cas", "free", "alloc", "sizeof"
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	if v.Detail != "" {
+		return fmt.Sprintf("simmem: %s during %s of %#x (%s)", v.Kind, v.Op, v.Addr, v.Detail)
+	}
+	return fmt.Sprintf("simmem: %s during %s of %#x", v.Kind, v.Op, v.Addr)
+}

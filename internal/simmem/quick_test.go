@@ -1,0 +1,122 @@
+package simmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickNoLiveOverlap property-checks the central allocator
+// invariant: no two live blocks ever overlap, every block stays inside
+// the arena, and frees make the space reusable.
+func TestQuickNoLiveOverlap(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{Words: 1 << 15, Check: true})
+		type block struct {
+			addr uint64
+			size int
+		}
+		var live []block
+		for i := 0; i < int(nOps)+1; i++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				size := 1 + rng.Intn(600)
+				addr := h.Alloc(size)
+				rounded := ClassSizeBytes(size)
+				if addr%WordSize != 0 || !h.Contains(addr) || !h.Contains(addr+uint64(rounded)-WordSize) {
+					return false
+				}
+				for _, b := range live {
+					bEnd := b.addr + uint64(ClassSizeBytes(b.size))
+					nEnd := addr + uint64(rounded)
+					if addr < bEnd && b.addr < nEnd {
+						t.Logf("overlap: [%#x,%#x) with [%#x,%#x)", addr, nEnd, b.addr, bEnd)
+						return false
+					}
+				}
+				live = append(live, block{addr, size})
+			} else {
+				k := rng.Intn(len(live))
+				h.Free(live[k].addr)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSizeOfMatchesClass property-checks SizeOf against the class
+// rounding function for arbitrary sizes.
+func TestQuickSizeOfMatchesClass(t *testing.T) {
+	h := New(Config{Words: 1 << 18, Check: true})
+	f := func(raw uint16) bool {
+		size := int(raw)%4000 + 1
+		addr := h.Alloc(size)
+		ok := h.SizeOf(addr) == ClassSizeBytes(size)
+		h.Free(addr)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLoadStoreIsolation property-checks that stores to one block
+// never bleed into a neighbouring block.
+func TestQuickLoadStoreIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{Words: 1 << 14, Check: true})
+		a := h.Alloc(64)
+		b := h.Alloc(64)
+		va, vb := rng.Uint64(), rng.Uint64()
+		for i := uint64(0); i < 8; i++ {
+			h.Store(a+i*WordSize, va+i)
+			h.Store(b+i*WordSize, vb+i)
+		}
+		for i := uint64(0); i < 8; i++ {
+			if h.Load(a+i*WordSize) != va+i || h.Load(b+i*WordSize) != vb+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCacheEquivalence property-checks that allocating through a
+// thread cache yields the same liveness semantics as central
+// allocation: unique addresses while live, reusable after free.
+func TestQuickCacheEquivalence(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{Words: 1 << 15, Check: true})
+		c := h.NewCache()
+		live := map[uint64]bool{}
+		for i := 0; i < int(nOps)+1; i++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				addr := c.Alloc(1 + rng.Intn(300))
+				if live[addr] {
+					return false // handed out a live address twice
+				}
+				live[addr] = true
+			} else {
+				for addr := range live {
+					c.Free(addr)
+					delete(live, addr)
+					break
+				}
+			}
+		}
+		return h.Stats().LiveBlocks == uint64(len(live))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

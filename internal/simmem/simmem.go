@@ -1,0 +1,369 @@
+// Package simmem implements the simulated heap that underlies the
+// ThreadScan reproduction: a word-addressable arena managed by a
+// size-class allocator with per-thread caches, modeled on TCMalloc
+// (the allocator used in the paper's evaluation, §6).
+//
+// Why a simulated heap at all?  The paper's mechanism — scanning thread
+// stacks for words that equal malloc'd node addresses — requires that
+// "addresses" be plain comparable words and that premature frees be
+// observable.  Go's real heap offers neither (the GC owns it), so the
+// reproduction allocates nodes at simulated addresses inside this arena.
+// In checked mode every access verifies that the target word belongs to
+// a live allocation, which turns any unsound reclamation decision into a
+// detected access violation rather than silent corruption.  This is the
+// property all of the repository's safety tests rest on.
+//
+// The heap is deliberately NOT goroutine-safe: the discrete-event
+// scheduler in package simt serializes all simulated threads, so the
+// allocator needs no locks and the whole simulation stays deterministic.
+package simmem
+
+import "fmt"
+
+// WordSize is the size of a heap word in bytes.  All addresses are
+// word-aligned; the low three bits of a node address are always zero,
+// which is what lets data structures steal them for mark bits and lets
+// the ThreadScan scanner mask them off (paper §4.2, "Pointer
+// Operations").
+const WordSize = 8
+
+// PageWords is the number of words per allocator page.  Small size
+// classes carve pages into equal blocks; large allocations take whole
+// page runs (spans).
+const PageWords = 1024 // 8 KiB pages
+
+// PoisonWord is written over every word of a freed block when poisoning
+// is enabled.  A thread that reads a stale reference sees this pattern,
+// and any attempt to follow it as a pointer lands outside the arena.
+const PoisonWord = 0xDEADBEEFDEADBEEF
+
+// Config describes a heap instance.
+type Config struct {
+	// Words is the arena capacity in 8-byte words.  The arena is
+	// allocated up front; the simulation fails loudly if it is
+	// exhausted.  Defaults to 1<<22 (32 MiB) if zero.
+	Words int
+
+	// Base is the byte address of the first arena word.  It must be
+	// word-aligned and nonzero (address 0 is the simulated nil).
+	// Defaults to 1<<20.
+	Base uint64
+
+	// Check enables per-word liveness tracking: loads and stores verify
+	// that the word belongs to a live allocation, frees verify block
+	// identity, and double frees are detected.  Costs one uint32 of
+	// host memory per arena word.
+	Check bool
+
+	// Poison fills freed blocks with PoisonWord and newly allocated
+	// blocks with zeroes.  Independent of Check.
+	Poison bool
+}
+
+func (c *Config) fill() {
+	if c.Words == 0 {
+		c.Words = 1 << 22
+	}
+	if c.Base == 0 {
+		c.Base = 1 << 20
+	}
+	if c.Base%WordSize != 0 {
+		panic("simmem: Config.Base must be word-aligned")
+	}
+}
+
+// Stats reports allocator activity since creation.
+type Stats struct {
+	Allocs       uint64 // successful allocations
+	Frees        uint64 // successful frees
+	LiveBlocks   uint64 // currently allocated blocks
+	LiveBytes    uint64 // currently allocated bytes (rounded to class size)
+	PagesCarved  uint64 // pages handed to size classes or spans
+	CacheHits    uint64 // allocations served from a thread cache
+	CacheMisses  uint64 // allocations that had to refill from central lists
+	CentralFrees uint64 // frees that overflowed a cache back to central
+}
+
+// Heap is a simulated word-addressable heap.
+type Heap struct {
+	cfg   Config
+	words []uint64 // the arena payload
+	state []uint32 // per-word allocation id; 0 = free (Check mode only)
+
+	nextPage int        // bump pointer, in pages
+	central  []freeList // one per size class
+	spanFree map[int][]uint64
+	spanLive map[uint64]int // span base addr -> pages
+	pagemap  []uint16       // per page: 0 free, 1+class, spanStart, spanCont
+
+	allocSeq uint32
+	stats    Stats
+}
+
+const (
+	pageFree     = 0
+	pageSpanBase = 0xFFFF
+	pageSpanCont = 0xFFFE
+)
+
+type freeList struct {
+	blocks []uint64 // LIFO of block base addresses
+}
+
+// New creates a heap from cfg.
+func New(cfg Config) *Heap {
+	cfg.fill()
+	h := &Heap{
+		cfg:      cfg,
+		words:    make([]uint64, cfg.Words),
+		central:  make([]freeList, numClasses),
+		spanFree: make(map[int][]uint64),
+		spanLive: make(map[uint64]int),
+		pagemap:  make([]uint16, (cfg.Words+PageWords-1)/PageWords),
+	}
+	if cfg.Check {
+		h.state = make([]uint32, cfg.Words)
+	}
+	return h
+}
+
+// Base returns the byte address of the first arena word.
+func (h *Heap) Base() uint64 { return h.cfg.Base }
+
+// Limit returns one past the last valid byte address.
+func (h *Heap) Limit() uint64 { return h.cfg.Base + uint64(h.cfg.Words)*WordSize }
+
+// Contains reports whether addr falls inside the arena.
+func (h *Heap) Contains(addr uint64) bool {
+	return addr >= h.cfg.Base && addr < h.Limit()
+}
+
+// Stats returns a snapshot of allocator counters.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// wordIndex converts a byte address to an arena word index, checking
+// bounds and alignment.
+func (h *Heap) wordIndex(addr uint64, op string) int {
+	if addr == 0 {
+		panic(&Violation{Kind: VNilDeref, Addr: addr, Op: op})
+	}
+	if addr%WordSize != 0 {
+		panic(&Violation{Kind: VUnaligned, Addr: addr, Op: op})
+	}
+	if !h.Contains(addr) {
+		panic(&Violation{Kind: VWildAccess, Addr: addr, Op: op})
+	}
+	return int((addr - h.cfg.Base) / WordSize)
+}
+
+// Load reads the word at addr.  In checked mode it verifies the word
+// belongs to a live allocation.
+func (h *Heap) Load(addr uint64) uint64 {
+	i := h.wordIndex(addr, "load")
+	if h.state != nil && h.state[i] == 0 {
+		panic(&Violation{Kind: VUseAfterFree, Addr: addr, Op: "load"})
+	}
+	return h.words[i]
+}
+
+// Store writes val to the word at addr, with the same checks as Load.
+func (h *Heap) Store(addr uint64, val uint64) {
+	i := h.wordIndex(addr, "store")
+	if h.state != nil && h.state[i] == 0 {
+		panic(&Violation{Kind: VUseAfterFree, Addr: addr, Op: "store"})
+	}
+	h.words[i] = val
+}
+
+// CompareAndSwap atomically (with respect to simulated threads, which
+// the scheduler serializes) replaces the word at addr with new if it
+// currently equals old.  It reports whether the swap happened.
+func (h *Heap) CompareAndSwap(addr uint64, old, new uint64) bool {
+	i := h.wordIndex(addr, "cas")
+	if h.state != nil && h.state[i] == 0 {
+		panic(&Violation{Kind: VUseAfterFree, Addr: addr, Op: "cas"})
+	}
+	if h.words[i] != old {
+		return false
+	}
+	h.words[i] = new
+	return true
+}
+
+// Alloc allocates a block of at least size bytes directly from the
+// central lists (no thread cache).  It returns the block's base address.
+func (h *Heap) Alloc(size int) uint64 {
+	if size <= 0 {
+		panic("simmem: Alloc of non-positive size")
+	}
+	words := (size + WordSize - 1) / WordSize
+	if words > maxSmallWords {
+		return h.allocSpan(words)
+	}
+	cls := classFor(words)
+	if len(h.central[cls].blocks) == 0 {
+		h.carvePage(cls)
+	}
+	blocks := h.central[cls].blocks
+	addr := blocks[len(blocks)-1]
+	h.central[cls].blocks = blocks[:len(blocks)-1]
+	h.finishAlloc(addr, classWords[cls])
+	return addr
+}
+
+// Free returns the block at addr (which must be a block base returned
+// by Alloc or a cache) to the central lists.
+func (h *Heap) Free(addr uint64) {
+	words := h.checkFree(addr)
+	if words > maxSmallWords {
+		h.freeSpan(addr, words)
+		return
+	}
+	cls := classFor(words)
+	h.central[cls].blocks = append(h.central[cls].blocks, addr)
+}
+
+// SizeOf returns the usable size in bytes of the live block at addr,
+// which must be a block base.
+func (h *Heap) SizeOf(addr uint64) int {
+	return h.blockWords(addr, "sizeof") * WordSize
+}
+
+// blockWords returns the size in words of the block containing addr and
+// verifies addr is the block base.
+func (h *Heap) blockWords(addr uint64, op string) int {
+	i := h.wordIndex(addr, op)
+	page := i / PageWords
+	switch pm := h.pagemap[page]; {
+	case pm == pageFree:
+		panic(&Violation{Kind: VWildAccess, Addr: addr, Op: op, Detail: "address in uncarved page"})
+	case pm == pageSpanBase:
+		pages, ok := h.spanLive[addr]
+		if !ok {
+			panic(&Violation{Kind: VBadFree, Addr: addr, Op: op, Detail: "not a span base"})
+		}
+		return pages * PageWords
+	case pm == pageSpanCont:
+		panic(&Violation{Kind: VBadFree, Addr: addr, Op: op, Detail: "interior of large span"})
+	default:
+		cls := int(pm - 1)
+		w := classWords[cls]
+		offInPage := i % PageWords
+		if offInPage%w != 0 {
+			panic(&Violation{Kind: VBadFree, Addr: addr, Op: op, Detail: "not a block base"})
+		}
+		return w
+	}
+}
+
+// checkFree validates a free of addr and updates liveness state.  It
+// returns the block size in words.
+func (h *Heap) checkFree(addr uint64) int {
+	words := h.blockWords(addr, "free")
+	i := h.wordIndex(addr, "free")
+	if h.state != nil {
+		if h.state[i] == 0 {
+			panic(&Violation{Kind: VDoubleFree, Addr: addr, Op: "free"})
+		}
+		for j := i; j < i+words; j++ {
+			h.state[j] = 0
+		}
+	}
+	if h.cfg.Poison {
+		for j := i; j < i+words; j++ {
+			h.words[j] = PoisonWord
+		}
+	}
+	h.stats.Frees++
+	h.stats.LiveBlocks--
+	h.stats.LiveBytes -= uint64(words) * WordSize
+	return words
+}
+
+// finishAlloc marks a block live and clears it.
+func (h *Heap) finishAlloc(addr uint64, words int) {
+	i := int((addr - h.cfg.Base) / WordSize)
+	h.allocSeq++
+	if h.allocSeq == 0 {
+		h.allocSeq = 1
+	}
+	if h.state != nil {
+		for j := i; j < i+words; j++ {
+			h.state[j] = h.allocSeq
+		}
+	}
+	if h.cfg.Poison {
+		for j := i; j < i+words; j++ {
+			h.words[j] = 0
+		}
+	}
+	h.stats.Allocs++
+	h.stats.LiveBlocks++
+	h.stats.LiveBytes += uint64(words) * WordSize
+}
+
+// carvePage assigns a fresh page to class cls and splits it into blocks.
+func (h *Heap) carvePage(cls int) {
+	page := h.takePages(1)
+	h.pagemap[page] = uint16(cls + 1)
+	w := classWords[cls]
+	base := h.cfg.Base + uint64(page*PageWords)*WordSize
+	n := PageWords / w
+	// Push in reverse so blocks pop in address order; deterministic and
+	// friendlier to the sorted master buffers built on top.
+	for k := n - 1; k >= 0; k-- {
+		h.central[cls].blocks = append(h.central[cls].blocks, base+uint64(k*w)*WordSize)
+	}
+	h.stats.PagesCarved++
+}
+
+// allocSpan allocates a run of whole pages for a large block.
+func (h *Heap) allocSpan(words int) uint64 {
+	pages := (words + PageWords - 1) / PageWords
+	var addr uint64
+	if free := h.spanFree[pages]; len(free) > 0 {
+		addr = free[len(free)-1]
+		h.spanFree[pages] = free[:len(free)-1]
+	} else {
+		page := h.takePages(pages)
+		h.pagemap[page] = pageSpanBase
+		for p := page + 1; p < page+pages; p++ {
+			h.pagemap[p] = pageSpanCont
+		}
+		addr = h.cfg.Base + uint64(page*PageWords)*WordSize
+		h.stats.PagesCarved += uint64(pages)
+	}
+	h.spanLive[addr] = pages
+	h.finishAlloc(addr, pages*PageWords)
+	return addr
+}
+
+func (h *Heap) freeSpan(addr uint64, words int) {
+	pages := words / PageWords
+	delete(h.spanLive, addr)
+	h.spanFree[pages] = append(h.spanFree[pages], addr)
+}
+
+// takePages advances the bump pointer by n pages, failing loudly if the
+// arena is exhausted.
+func (h *Heap) takePages(n int) int {
+	page := h.nextPage
+	if (page+n)*PageWords > h.cfg.Words {
+		panic(&Violation{Kind: VOutOfMemory, Op: "alloc",
+			Detail: fmt.Sprintf("arena exhausted: need %d pages, %d words total", n, h.cfg.Words)})
+	}
+	h.nextPage += n
+	return page
+}
+
+// LiveAt reports whether the word at addr currently belongs to a live
+// allocation.  It always returns true when checking is disabled.
+func (h *Heap) LiveAt(addr uint64) bool {
+	if h.state == nil {
+		return h.Contains(addr)
+	}
+	if !h.Contains(addr) || addr%WordSize != 0 {
+		return false
+	}
+	return h.state[(addr-h.cfg.Base)/WordSize] != 0
+}

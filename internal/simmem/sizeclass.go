@@ -1,0 +1,49 @@
+package simmem
+
+// Size classes, in words.  These follow TCMalloc's shape: fine-grained
+// at small sizes, coarser as sizes grow, topping out at half a page.
+// Anything larger is a span of whole pages.
+var classWords = []int{
+	2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32,
+	40, 48, 56, 64, 80, 96, 112, 128,
+	160, 192, 224, 256, 320, 384, 448, 512,
+}
+
+const numClasses = 29
+
+// maxSmallWords is the largest allocation served from size classes.
+var maxSmallWords = classWords[numClasses-1]
+
+// classIndex maps a word count to its size-class index; built once.
+var classIndex = func() []uint8 {
+	idx := make([]uint8, maxSmallWords+1)
+	c := 0
+	for w := 1; w <= maxSmallWords; w++ {
+		if w > classWords[c] {
+			c++
+		}
+		idx[w] = uint8(c)
+	}
+	return idx
+}()
+
+// classFor returns the size-class index for a block of the given word
+// count, which must be <= maxSmallWords.
+func classFor(words int) int {
+	if words < 1 {
+		words = 1
+	}
+	return int(classIndex[words])
+}
+
+// ClassSizeBytes returns the rounded allocation size in bytes for a
+// request of size bytes, mirroring what Alloc will actually reserve.
+// Useful for tests and capacity planning.
+func ClassSizeBytes(size int) int {
+	words := (size + WordSize - 1) / WordSize
+	if words > maxSmallWords {
+		pages := (words + PageWords - 1) / PageWords
+		return pages * PageWords * WordSize
+	}
+	return classWords[classFor(words)] * WordSize
+}

@@ -1,0 +1,149 @@
+package simt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"threadscan/internal/simmem"
+)
+
+// TestQuickClockMonotoneAndBounded property-checks two scheduler
+// invariants over random configurations:
+//
+//  1. every thread's virtual clock is nondecreasing across observations;
+//  2. total consumed CPU cycles never exceed cores x elapsed clock —
+//     the simulated machine cannot manufacture compute.
+func TestQuickClockMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64, coresRaw, threadsRaw uint8, chaos bool) bool {
+		cores := int(coresRaw)%4 + 1
+		threads := int(threadsRaw)%6 + 1
+		cfg := Config{
+			Cores: cores, Quantum: 5_000, Seed: seed, Chaos: chaos,
+			MaxCycles: 2_000_000_000,
+			Heap:      simmem.Config{Words: 1 << 14},
+		}
+		s := New(cfg)
+		monotone := true
+		for i := 0; i < threads; i++ {
+			s.Spawn("w", func(th *Thread) {
+				last := int64(0)
+				for j := 0; j < 200; j++ {
+					th.Work(int64(th.RNG().Intn(300)) + 1)
+					if th.Now() < last {
+						monotone = false
+					}
+					last = th.Now()
+					if th.RNG().Intn(8) == 0 {
+						th.Yield()
+					}
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if !monotone {
+			return false
+		}
+		var totalCycles int64
+		for _, th := range s.Threads() {
+			totalCycles += th.Cycles()
+		}
+		return totalCycles <= int64(cores)*s.Clock()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSignalsNeverLost property-checks signal delivery: every
+// signal sent to a live, eventually-running thread is delivered (given
+// coalescing: we count delivery occurrences, which must be >= 1 per
+// burst and <= sends).
+func TestQuickSignalsNeverLost(t *testing.T) {
+	f := func(seed int64, burstsRaw uint8) bool {
+		bursts := int(burstsRaw)%10 + 1
+		cfg := Config{
+			Cores: 2, Quantum: 2_000, Seed: seed,
+			MaxCycles: 2_000_000_000,
+			Heap:      simmem.Config{Words: 1 << 14},
+		}
+		s := New(cfg)
+		delivered := 0
+		handled := make(chan struct{}, 1) // unused; host-side sync not needed
+		_ = handled
+		s.SetSignalHandler(0, func(th *Thread) { delivered++ })
+		ready := false
+		done := false
+		target := s.Spawn("target", func(th *Thread) {
+			ready = true
+			for !done {
+				th.Work(100)
+			}
+		})
+		s.Spawn("sender", func(th *Thread) {
+			for !ready {
+				th.Pause()
+			}
+			for i := 0; i < bursts; i++ {
+				th.Signal(target, 0)
+				// Wait until this burst is handled before the next, so
+				// coalescing cannot merge across bursts.
+				for delivered <= i {
+					th.Pause()
+				}
+			}
+			done = true
+		})
+		if err := s.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return delivered == bursts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminismAcrossConfigs property-checks that two runs with
+// identical seeds and configs produce identical clocks and stats even
+// under chaos scheduling.
+func TestQuickDeterminismAcrossConfigs(t *testing.T) {
+	run := func(seed int64, cores, threads int, chaos bool) (int64, SimStats) {
+		cfg := Config{
+			Cores: cores, Quantum: 3_000, Seed: seed, Chaos: chaos,
+			MaxCycles: 2_000_000_000,
+			Heap:      simmem.Config{Words: 1 << 14},
+		}
+		s := New(cfg)
+		for i := 0; i < threads; i++ {
+			s.Spawn("w", func(th *Thread) {
+				th.Alloc(0, 64)
+				for j := 0; j < 300; j++ {
+					th.StoreImm(0, 0, uint64(j))
+					th.Load(1, 0, 0)
+					if th.RNG().Intn(16) == 0 {
+						th.Yield()
+					}
+				}
+				th.FreeAddr(th.Reg(0))
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Clock(), s.Stats()
+	}
+	f := func(seed int64, coresRaw, threadsRaw uint8, chaos bool) bool {
+		cores := int(coresRaw)%3 + 1
+		threads := int(threadsRaw)%5 + 1
+		c1, s1 := run(seed, cores, threads, chaos)
+		c2, s2 := run(seed, cores, threads, chaos)
+		return c1 == c2 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package simt
+
+import (
+	"errors"
+	"testing"
+
+	"threadscan/internal/simmem"
+)
+
+func testConfig() Config {
+	return Config{
+		Cores:   2,
+		Quantum: 10_000,
+		Seed:    1,
+		Heap:    simmem.Config{Words: 1 << 14, Check: true, Poison: true},
+	}
+}
+
+func mustRun(t *testing.T, s *Sim) {
+	t.Helper()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunSingleThread(t *testing.T) {
+	s := New(testConfig())
+	ran := false
+	s.Spawn("t0", func(th *Thread) {
+		th.Work(1000)
+		ran = true
+	})
+	mustRun(t, s)
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	if s.Clock() < 1000 {
+		t.Fatalf("clock %d did not advance past work", s.Clock())
+	}
+}
+
+func TestAllThreadsProgressFairly(t *testing.T) {
+	// Four threads on one core: the scheduler must interleave them so
+	// all finish in roughly the same virtual window (fairness).
+	cfg := testConfig()
+	cfg.Cores = 1
+	s := New(cfg)
+	finish := make([]int64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Spawn("worker", func(th *Thread) {
+			th.Work(100_000)
+			finish[i] = th.Now()
+		})
+	}
+	mustRun(t, s)
+	min, max := finish[0], finish[0]
+	for _, f := range finish[1:] {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if max-min > 2*cfg.Quantum+4*DefaultCosts().ContextSwitch {
+		t.Fatalf("unfair finish spread: min=%d max=%d", min, max)
+	}
+}
+
+func TestVirtualTimeOverlapsAcrossCores(t *testing.T) {
+	// Two threads doing W work each on two cores should finish in about
+	// W virtual time, not 2W: the DES overlaps them.
+	cfg := testConfig()
+	cfg.Cores = 2
+	s := New(cfg)
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", func(th *Thread) { th.Work(500_000) })
+	}
+	mustRun(t, s)
+	if c := s.Clock(); c > 600_000 {
+		t.Fatalf("two cores did not overlap: clock=%d", c)
+	}
+}
+
+func TestOversubscriptionSerializes(t *testing.T) {
+	// Two threads on ONE core take about 2W.
+	cfg := testConfig()
+	cfg.Cores = 1
+	s := New(cfg)
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", func(th *Thread) { th.Work(500_000) })
+	}
+	mustRun(t, s)
+	if c := s.Clock(); c < 1_000_000 {
+		t.Fatalf("one core overlapped impossibly: clock=%d", c)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(testConfig())
+	q := s.NewWaitQueue("never")
+	s.Spawn("stuck", func(th *Thread) { q.Wait(th) })
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(dl.States) != 1 {
+		t.Fatalf("deadlock states: %v", dl.States)
+	}
+}
+
+func TestThreadPanicSurfacesViolation(t *testing.T) {
+	s := New(testConfig())
+	s.Spawn("uaf", func(th *Thread) {
+		th.Alloc(0, 32)
+		addr := th.Reg(0)
+		th.FreeAddr(addr)
+		th.Load(1, 0, 0) // use after free
+	})
+	err := s.Run()
+	var v *simmem.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected violation, got %v", err)
+	}
+	if v.Kind != simmem.VUseAfterFree {
+		t.Fatalf("expected use-after-free, got %v", v.Kind)
+	}
+	var tp *ThreadPanic
+	if !errors.As(err, &tp) || tp.Name != "uaf" {
+		t.Fatalf("ThreadPanic metadata missing: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, uint64, SimStats) {
+		cfg := testConfig()
+		cfg.Cores = 2
+		cfg.Seed = 42
+		s := New(cfg)
+		var ops uint64
+		for i := 0; i < 5; i++ {
+			s.Spawn("w", func(th *Thread) {
+				th.Alloc(0, 64)
+				for j := 0; j < 500; j++ {
+					th.StoreImm(0, 0, uint64(j))
+					th.Load(1, 0, 0)
+					if th.RNG().Intn(10) == 0 {
+						th.Yield()
+					}
+					ops++
+				}
+			})
+		}
+		mustRun(t, s)
+		return s.Clock(), ops, s.Stats()
+	}
+	c1, o1, s1 := run()
+	c2, o2, s2 := run()
+	if c1 != c2 || o1 != o2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%d,%+v) vs (%d,%d,%+v)", c1, o1, s1, c2, o2, s2)
+	}
+}
+
+func TestChaosModeStillCompletes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chaos = true
+	cfg.Seed = 7
+	s := New(cfg)
+	total := 0
+	for i := 0; i < 6; i++ {
+		s.Spawn("w", func(th *Thread) {
+			th.Work(20_000)
+			total++
+		})
+	}
+	mustRun(t, s)
+	if total != 6 {
+		t.Fatalf("chaos run lost threads: %d", total)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New(testConfig())
+	s.Spawn("w", func(th *Thread) {})
+	mustRun(t, s)
+	if err := s.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}
+
+func TestContextSwitchAccounting(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cores = 1
+	s := New(cfg)
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", func(th *Thread) { th.Work(50_000) })
+	}
+	mustRun(t, s)
+	if s.Stats().ContextSwitches < 2 {
+		t.Fatalf("expected context switches on a shared core, got %+v", s.Stats())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New(testConfig())
+	var after int64
+	s.Spawn("sleeper", func(th *Thread) {
+		before := th.Now()
+		if th.Sleep(1_000_000) {
+			t.Error("sleep spuriously interrupted")
+		}
+		after = th.Now() - before
+	})
+	mustRun(t, s)
+	if after < 1_000_000 {
+		t.Fatalf("sleep too short: %d", after)
+	}
+}
+
+func TestSleeperDoesNotBlockCore(t *testing.T) {
+	// One core: a long sleeper must not delay a worker.
+	cfg := testConfig()
+	cfg.Cores = 1
+	s := New(cfg)
+	var workerDone int64
+	s.Spawn("sleeper", func(th *Thread) { th.Sleep(50_000_000) })
+	s.Spawn("worker", func(th *Thread) {
+		th.Work(100_000)
+		workerDone = th.Now()
+	})
+	mustRun(t, s)
+	if workerDone > 1_000_000 {
+		t.Fatalf("worker delayed by sleeper: done at %d", workerDone)
+	}
+}
+
+func TestCacheModelChargesMisses(t *testing.T) {
+	// With the cache model on, a large scan costs more than repeated
+	// access to one line.
+	run := func(stride int) int64 {
+		cfg := testConfig()
+		cfg.CacheSim = true
+		cfg.Heap.Words = 1 << 18
+		s := New(cfg)
+		s.Spawn("w", func(th *Thread) {
+			th.Alloc(0, 1<<17) // 128 KiB block
+			for i := 0; i < 2000; i++ {
+				th.Load(1, 0, (i*stride)%(1<<14))
+			}
+		})
+		mustRun(t, s)
+		return s.Clock()
+	}
+	hot := run(0)   // same word every time
+	cold := run(16) // new line every access
+	if cold < hot+2000*DefaultCosts().MissPenalty/2 {
+		t.Fatalf("cache model ineffective: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestStartAndExitHooksRunInOrder(t *testing.T) {
+	s := New(testConfig())
+	var events []string
+	s.OnThreadStart(func(th *Thread) { events = append(events, "start") })
+	s.OnThreadExit(func(th *Thread) { events = append(events, "exit") })
+	s.Spawn("w", func(th *Thread) { events = append(events, "body") })
+	mustRun(t, s)
+	want := []string{"start", "body", "exit"}
+	if len(events) != 3 || events[0] != want[0] || events[1] != want[1] || events[2] != want[2] {
+		t.Fatalf("hook order: %v", events)
+	}
+}

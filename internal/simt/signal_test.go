@@ -1,0 +1,242 @@
+package simt
+
+import "testing"
+
+func TestSignalDeliveredToRunningThread(t *testing.T) {
+	s := New(testConfig())
+	handled := 0
+	s.SetSignalHandler(0, func(th *Thread) { handled++ })
+	target := s.Spawn("busy", func(th *Thread) { th.Work(200_000) })
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(5_000)
+		th.Signal(target, 0)
+	})
+	mustRun(t, s)
+	if handled != 1 {
+		t.Fatalf("handled = %d", handled)
+	}
+	if s.Stats().SignalsSent != 1 || s.Stats().SignalsDelivered != 1 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
+
+func TestSignalInterruptsInfiniteAppLoop(t *testing.T) {
+	// The paper's key progress property (§1.2): handler code runs even
+	// if the application spins forever, because the OS interrupts at
+	// instruction boundaries.  The "app loop" here only exits once the
+	// handler has run, proving delivery does not require cooperation.
+	s := New(testConfig())
+	done := false
+	s.SetSignalHandler(0, func(th *Thread) { done = true })
+	target := s.Spawn("spinner", func(th *Thread) {
+		th.Alloc(0, 16)
+		for !done {
+			th.Load(1, 0, 0) // tight heap-read loop, no voluntary yields
+		}
+	})
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(50_000)
+		th.Signal(target, 0)
+	})
+	mustRun(t, s)
+	if !done {
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestSignalInterruptsSleep(t *testing.T) {
+	// EINTR semantics: a signal cuts a sleep short and the handler runs
+	// before Sleep returns.
+	s := New(testConfig())
+	ranHandler := false
+	s.SetSignalHandler(0, func(th *Thread) { ranHandler = true })
+	var interrupted bool
+	var wokeAt int64
+	target := s.Spawn("sleeper", func(th *Thread) {
+		interrupted = th.Sleep(100_000_000) // 100ms virtual
+		wokeAt = th.Now()
+	})
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(10_000)
+		th.Signal(target, 0)
+	})
+	mustRun(t, s)
+	if !interrupted {
+		t.Fatal("sleep not interrupted")
+	}
+	if !ranHandler {
+		t.Fatal("handler did not run on wake")
+	}
+	if wokeAt > 10_000_000 {
+		t.Fatalf("sleeper woke too late: %d", wokeAt)
+	}
+}
+
+func TestSignalInterruptsMutexWait(t *testing.T) {
+	// A thread blocked on a lock still answers signals — load-bearing
+	// for ThreadScan's collect (a thread waiting for the reclaim lock
+	// must still scan and ACK).
+	s := New(testConfig())
+	scans := 0
+	s.SetSignalHandler(0, func(th *Thread) { scans++ })
+	m := s.NewMutex("contended")
+	release := false
+	lockHeld := false
+	var blocked *Thread
+	blocked = s.Spawn("waiter", func(th *Thread) {
+		for !lockHeld { // wait until the holder owns the lock
+			th.Pause()
+		}
+		m.Lock(th)
+		m.Unlock(th)
+	})
+	s.Spawn("holder", func(th *Thread) {
+		m.Lock(th)
+		lockHeld = true
+		th.Work(20_000)
+		th.Signal(blocked, 0)
+		// The waiter must run its handler *while still unable to get
+		// the lock*; spin until the handler has run.
+		for scans == 0 {
+			th.Pause()
+		}
+		release = true
+		m.Unlock(th)
+	})
+	mustRun(t, s)
+	if scans != 1 || !release {
+		t.Fatalf("scans=%d release=%v", scans, release)
+	}
+}
+
+func TestSignalToExitedThreadIsNoop(t *testing.T) {
+	s := New(testConfig())
+	s.SetSignalHandler(0, func(th *Thread) { t.Error("handler ran for exited thread") })
+	target := s.Spawn("short", func(th *Thread) {})
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(100_000) // target long gone
+		if th.Signal(target, 0) {
+			t.Error("Signal to exited thread reported delivery")
+		}
+	})
+	mustRun(t, s)
+}
+
+func TestHandlerMasksSameSignal(t *testing.T) {
+	// A signal arriving *while its own handler runs* is deferred until
+	// the handler returns, not nested (and two signals pending before
+	// delivery coalesce, as POSIX non-RT signals do).
+	s := New(testConfig())
+	depth, maxDepth, count := 0, 0, 0
+	inHandler := false
+	var target *Thread
+	s.SetSignalHandler(0, func(th *Thread) {
+		depth++
+		count++
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		inHandler = true
+		th.Work(30_000) // long handler spanning several quanta
+		inHandler = false
+		depth--
+	})
+	target = s.Spawn("receiver", func(th *Thread) { th.Work(200_000) })
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(2_000)
+		th.Signal(target, 0)
+		for !inHandler { // wait until the handler is running...
+			th.Pause()
+		}
+		th.Signal(target, 0) // ...then signal again, mid-handler
+	})
+	mustRun(t, s)
+	if maxDepth != 1 {
+		t.Fatalf("handler nested: depth %d", maxDepth)
+	}
+	if count != 2 {
+		t.Fatalf("second signal lost: count %d", count)
+	}
+}
+
+func TestSelfSignal(t *testing.T) {
+	s := New(testConfig())
+	ran := false
+	s.SetSignalHandler(1, func(th *Thread) { ran = true })
+	s.Spawn("self", func(th *Thread) {
+		th.Signal(th, 1)
+		th.Step() // next safepoint delivers
+		if !ran {
+			t.Error("self-signal not delivered at next safepoint")
+		}
+	})
+	mustRun(t, s)
+}
+
+func TestSignalLatencyGrowsWithOversubscription(t *testing.T) {
+	// Figure 4's mechanism: on an oversubscribed machine, a descheduled
+	// thread answers a signal only when it gets a core again.  Measure
+	// time from signal to handler completion at 1x and 8x subscription.
+	latency := func(nThreads int) int64 {
+		cfg := testConfig()
+		cfg.Cores = 2
+		cfg.Seed = 3
+		s := New(cfg)
+		var sentAt, handledAt int64
+		s.SetSignalHandler(0, func(th *Thread) { handledAt = th.Now() })
+		targets := make([]*Thread, nThreads)
+		for i := 0; i < nThreads; i++ {
+			targets[i] = s.Spawn("w", func(th *Thread) { th.Work(3_000_000) })
+		}
+		s.Spawn("sender", func(th *Thread) {
+			th.Work(500_000) // mid-run
+			sentAt = th.Now()
+			th.Signal(targets[nThreads-1], 0)
+		})
+		mustRun(t, s)
+		if handledAt == 0 {
+			t.Fatal("signal never handled")
+		}
+		return handledAt - sentAt
+	}
+	l1 := latency(1)
+	l8 := latency(16)
+	if l8 < 2*l1 {
+		t.Fatalf("oversubscription did not delay signal response: 1x=%d 16x=%d", l1, l8)
+	}
+}
+
+func TestHandlerSeesConsistentStack(t *testing.T) {
+	// The handler observes the thread's registers/stack exactly as they
+	// were at the interrupted safepoint.
+	s := New(testConfig())
+	var snapshot []uint64
+	s.SetSignalHandler(0, func(th *Thread) {
+		snapshot = snapshot[:0]
+		th.ScanRoots(func(w uint64) { snapshot = append(snapshot, w) })
+	})
+	target := s.Spawn("t", func(th *Thread) {
+		th.PushFrame(1)
+		th.SetSlot(0, 0x12340)
+		th.SetReg(7, 0x56780)
+		th.Work(100_000)
+		th.PopFrame()
+	})
+	s.Spawn("sender", func(th *Thread) {
+		th.Work(10_000)
+		th.Signal(target, 0)
+	})
+	mustRun(t, s)
+	var sawSlot, sawReg bool
+	for _, w := range snapshot {
+		if w == 0x12340 {
+			sawSlot = true
+		}
+		if w == 0x56780 {
+			sawReg = true
+		}
+	}
+	if !sawSlot || !sawReg {
+		t.Fatalf("handler snapshot incomplete: slot=%v reg=%v", sawSlot, sawReg)
+	}
+}

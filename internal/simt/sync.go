@@ -1,0 +1,167 @@
+package simt
+
+// Synchronization primitives built on the scheduler.  Because exactly
+// one simulated thread runs between safepoints, any sequence of Go-level
+// state manipulation inside these primitives is atomic with respect to
+// the simulation; the primitives only need to manage blocking and
+// wakeup ordering.
+//
+// All waits here are *interruptible*: a signal removes the waiter from
+// the queue, runs its handler, and the primitive retries.  This mirrors
+// POSIX (futex waits return EINTR) and is load-bearing for ThreadScan —
+// a thread blocked on the reclamation lock must still answer a scan
+// request, or collect could deadlock (paper §4.2, "Progress").
+
+// WaitQueue is a FIFO queue of blocked threads.
+type WaitQueue struct {
+	sim     *Sim
+	name    string
+	waiters []*Thread
+}
+
+// NewWaitQueue creates a wait queue; name appears in deadlock reports.
+func (s *Sim) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{sim: s, name: name}
+}
+
+// Wait blocks the calling thread until WakeOne/WakeAll releases it or a
+// signal interrupts it.  Pending handlers have run by the time Wait
+// returns.  Returns true if the wait was interrupted by a signal.
+func (q *WaitQueue) Wait(t *Thread) (interrupted bool) {
+	q.waiters = append(q.waiters, t)
+	t.waitQ = q
+	t.yieldCore(yBlock)
+	intr := t.interrupted
+	t.interrupted = false
+	t.safepoint()
+	return intr
+}
+
+// WakeOne wakes the longest-waiting thread, if any.  Must be called
+// from a running thread's context.
+func (q *WaitQueue) WakeOne(waker *Thread) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	w := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	q.wake(w, waker)
+	return true
+}
+
+// WakeAll wakes every waiter, returning the number woken.
+func (q *WaitQueue) WakeAll(waker *Thread) int {
+	n := len(q.waiters)
+	for _, w := range q.waiters {
+		q.wake(w, waker)
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+func (q *WaitQueue) wake(w *Thread, waker *Thread) {
+	w.waitQ = nil
+	w.runnable = true
+	w.readyAt = maxI64(w.now, waker.now+q.sim.cfg.Costs.WakeLatency)
+	q.sim.stats.Wakeups++
+}
+
+// Len returns the number of waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// remove deletes t from the queue (signal interruption path).
+func (q *WaitQueue) remove(t *Thread) {
+	for i, w := range q.waiters {
+		if w == t {
+			copy(q.waiters[i:], q.waiters[i+1:])
+			q.waiters = q.waiters[:len(q.waiters)-1]
+			return
+		}
+	}
+}
+
+// Mutex is a blocking, signal-interruptible mutual-exclusion lock.
+// Fairness is FIFO-wakeup with competitive reacquire.
+type Mutex struct {
+	sim    *Sim
+	q      *WaitQueue
+	locked bool
+	owner  *Thread
+}
+
+// NewMutex creates a mutex; name appears in deadlock reports.
+func (s *Sim) NewMutex(name string) *Mutex {
+	return &Mutex{sim: s, q: s.NewWaitQueue("mutex " + name)}
+}
+
+// Lock acquires the mutex, blocking as needed.  Signal handlers run
+// while blocked (the wait is interruptible), so a thread parked on a
+// lock still answers scan requests.
+func (m *Mutex) Lock(t *Thread) {
+	t.charge(m.sim.cfg.Costs.CAS)
+	t.safepoint()
+	for m.locked {
+		m.q.Wait(t)
+		t.charge(m.sim.cfg.Costs.CAS)
+	}
+	m.locked = true
+	m.owner = t
+}
+
+// TryLock acquires the mutex if it is free, reporting success.
+func (m *Mutex) TryLock(t *Thread) bool {
+	t.charge(m.sim.cfg.Costs.CAS)
+	t.safepoint()
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	m.owner = t
+	return true
+}
+
+// Unlock releases the mutex and wakes one waiter.
+func (m *Mutex) Unlock(t *Thread) {
+	if !m.locked || m.owner != t {
+		panic("simt: Unlock of mutex not held by caller")
+	}
+	m.locked = false
+	m.owner = nil
+	t.charge(m.sim.cfg.Costs.Store)
+	m.q.WakeOne(t)
+}
+
+// Locked reports whether the mutex is currently held (diagnostics).
+func (m *Mutex) Locked() bool { return m.locked }
+
+// Barrier blocks threads until n of them arrive, then releases the
+// generation together.  Used by workloads to align start lines.
+type Barrier struct {
+	sim     *Sim
+	q       *WaitQueue
+	n       int
+	arrived int
+	gen     int
+}
+
+// NewBarrier creates a barrier for n threads.
+func (s *Sim) NewBarrier(name string, n int) *Barrier {
+	return &Barrier{sim: s, q: s.NewWaitQueue("barrier " + name), n: n}
+}
+
+// Await blocks until n threads have called Await for this generation.
+func (b *Barrier) Await(t *Thread) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.q.WakeAll(t)
+		t.Step()
+		return
+	}
+	for b.gen == gen {
+		b.q.Wait(t)
+	}
+}

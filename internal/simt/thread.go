@@ -1,0 +1,448 @@
+package simt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+
+	"threadscan/internal/simmem"
+)
+
+// Thread is one simulated thread: a register file, a word-array stack,
+// a virtual clock, and a thread-cached view of the simulated heap.
+//
+// The register/stack discipline is the heart of the reproduction.  Every
+// heap address a thread may dereference must live in a register or a
+// stack slot at every safepoint; the memory primitives enforce this by
+// construction, because they read addresses from and deliver results to
+// registers.  ThreadScan's TS-Scan walks exactly these words.
+//
+// All methods must be called from the thread's own body/handler (they
+// are not host-concurrency-safe; the scheduler serializes threads).
+type Thread struct {
+	sim  *Sim
+	id   int
+	name string
+	body func(*Thread)
+
+	regs   [NumRegs]uint64
+	stack  []uint64
+	sp     int
+	frames []int
+
+	cache *simmem.Cache
+	rng   *rand.Rand
+
+	// Virtual time.
+	now        int64
+	quantumEnd int64
+	readyAt    int64
+	wakeAt     int64
+	core       int
+
+	// Scheduling state (owned by the scheduler and the single active
+	// party; no synchronization needed).
+	resume      chan quantum
+	reason      yieldReason
+	runnable    bool
+	exited      bool
+	released    bool
+	waitQ       *WaitQueue
+	sleeping    bool
+	interrupted bool
+	panicVal    any
+	panicStack  string
+
+	// Signals.
+	sigPending uint32
+	sigDepth   int
+
+	// Accounting.
+	cycles        int64
+	handlerCycles int64
+	waitCycles    int64
+	ops           uint64 // free-form operation counter for workloads
+}
+
+// ID returns the thread's dense index (0..n-1), assigned in spawn
+// order.  Reclamation schemes index their per-thread state with it.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's spawn name.
+func (t *Thread) Name() string { return t.name }
+
+// Sim returns the owning simulation.
+func (t *Thread) Sim() *Sim { return t.sim }
+
+// Now returns the thread's current virtual time in cycles.
+func (t *Thread) Now() int64 { return t.now }
+
+// RNG returns the thread's deterministic random source.
+func (t *Thread) RNG() *rand.Rand { return t.rng }
+
+// MemCache returns the thread's heap allocation cache.
+func (t *Thread) MemCache() *simmem.Cache { return t.cache }
+
+// Cycles returns total virtual cycles consumed by this thread.
+func (t *Thread) Cycles() int64 { return t.cycles }
+
+// HandlerCycles returns virtual cycles consumed inside signal handlers.
+func (t *Thread) HandlerCycles() int64 { return t.handlerCycles }
+
+// WaitCycles returns cycles burned in Pause spin-waits.
+func (t *Thread) WaitCycles() int64 { return t.waitCycles }
+
+// Exited reports whether the thread's body has returned.
+func (t *Thread) Exited() bool { return t.exited }
+
+// AddOps adds to the thread's free-form operation counter.
+func (t *Thread) AddOps(n uint64) { t.ops += n }
+
+// Ops returns the free-form operation counter.
+func (t *Thread) Ops() uint64 { return t.ops }
+
+// main is the goroutine body: wait for the first dispatch, run hooks
+// and the thread body, and report exit (or panic) to the scheduler.
+func (t *Thread) main() {
+	q, ok := <-t.resume
+	if !ok {
+		return
+	}
+	t.begin(q)
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicVal = r
+			t.panicStack = string(debug.Stack())
+			t.reason = yPanic
+			t.sim.yieldCh <- t
+		}
+	}()
+	t.cache = t.sim.heap.NewCache()
+	for _, h := range t.sim.startHooks {
+		h(t)
+	}
+	t.body(t)
+	// The body has returned: its machine state is dead.  Clear the
+	// register file and stack so exit hooks (which may trigger a final
+	// scan) do not see stale references pinning nodes.
+	t.regs = [NumRegs]uint64{}
+	t.sp = 0
+	t.frames = t.frames[:0]
+	for _, h := range t.sim.exitHooks {
+		h(t)
+	}
+	t.cache.Flush()
+	t.reason = yExit
+	t.sim.yieldCh <- t
+}
+
+func (t *Thread) begin(q quantum) {
+	if q.start > t.now {
+		t.now = q.start
+	}
+	t.quantumEnd = q.end
+}
+
+// yieldCore hands the core back to the scheduler and blocks until the
+// next dispatch.  If the simulation was aborted, the goroutine exits.
+func (t *Thread) yieldCore(reason yieldReason) {
+	t.reason = reason
+	t.sim.yieldCh <- t
+	q, ok := <-t.resume
+	if !ok {
+		runtime.Goexit()
+	}
+	t.begin(q)
+}
+
+// charge advances the thread's virtual clock by cost cycles, routing
+// the cycles to handler accounting when inside a signal handler.
+func (t *Thread) charge(cost int64) {
+	t.now += cost
+	t.cycles += cost
+	if t.sigDepth > 0 {
+		t.handlerCycles += cost
+	}
+}
+
+// Charge lets library code (reclamation schemes) account virtual work
+// that has no dedicated primitive, e.g. per-word scan costs.
+func (t *Thread) Charge(cost int64) { t.charge(cost) }
+
+// safepoint is an instruction boundary: pending signals are delivered
+// here, and the quantum is surrendered here when expired.  Between two
+// safepoints a thread runs "atomically" with respect to the simulation.
+func (t *Thread) safepoint() {
+	for {
+		if t.sigPending != 0 && t.sigDepth == 0 {
+			t.deliverSignals()
+			continue
+		}
+		if t.now >= t.quantumEnd {
+			t.yieldCore(yQuantum)
+			continue
+		}
+		return
+	}
+}
+
+// Safepoint exposes an explicit instruction boundary, for library spin
+// loops that otherwise execute no memory primitive.
+func (t *Thread) Safepoint() { t.safepoint() }
+
+// ---------------------------------------------------------------------
+// Register file.
+
+func (t *Thread) checkReg(r int) {
+	if r < 0 || r >= NumRegs {
+		panic(fmt.Sprintf("simt: register %d out of range", r))
+	}
+}
+
+// Reg returns the value of register r.
+func (t *Thread) Reg(r int) uint64 {
+	t.checkReg(r)
+	return t.regs[r]
+}
+
+// SetReg writes v to register r.  A register write is a pure
+// register-file operation (no safepoint): values move in and out of
+// registers atomically with respect to signal delivery, exactly as on
+// real hardware where the handler sees the interrupted register state.
+func (t *Thread) SetReg(r int, v uint64) {
+	t.checkReg(r)
+	t.charge(t.sim.cfg.Costs.RegOp)
+	t.regs[r] = v
+}
+
+// CopyReg copies register src to dst.
+func (t *Thread) CopyReg(dst, src int) { t.SetReg(dst, t.Reg(src)) }
+
+// ---------------------------------------------------------------------
+// Simulated stack.
+
+// PushFrame reserves n zeroed stack slots and makes them the current
+// frame.  Frames model the paper's stack-resident private references
+// (e.g. a skip list's predecessor array).
+func (t *Thread) PushFrame(n int) {
+	if t.sp+n > len(t.stack) {
+		panic(fmt.Sprintf("simt: thread %d stack overflow (%d + %d > %d)", t.id, t.sp, n, len(t.stack)))
+	}
+	t.charge(int64(n) * t.sim.cfg.Costs.RegOp)
+	t.frames = append(t.frames, t.sp)
+	for i := t.sp; i < t.sp+n; i++ {
+		t.stack[i] = 0
+	}
+	t.sp += n
+}
+
+// PopFrame releases the current frame.
+func (t *Thread) PopFrame() {
+	if len(t.frames) == 0 {
+		panic("simt: PopFrame with no frame")
+	}
+	base := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	t.sp = base
+	t.charge(t.sim.cfg.Costs.RegOp)
+}
+
+func (t *Thread) slotIndex(i int) int {
+	if len(t.frames) == 0 {
+		panic("simt: stack slot access with no frame")
+	}
+	base := t.frames[len(t.frames)-1]
+	idx := base + i
+	if i < 0 || idx >= t.sp {
+		panic(fmt.Sprintf("simt: stack slot %d out of frame", i))
+	}
+	return idx
+}
+
+// Slot returns slot i of the current frame.
+func (t *Thread) Slot(i int) uint64 { return t.stack[t.slotIndex(i)] }
+
+// SetSlot writes v to slot i of the current frame.
+func (t *Thread) SetSlot(i int, v uint64) {
+	t.charge(t.sim.cfg.Costs.RegOp)
+	t.stack[t.slotIndex(i)] = v
+}
+
+// StackDepth returns the number of live stack words.
+func (t *Thread) StackDepth() int { return t.sp }
+
+// ScanRoots calls f for every word currently visible in the thread's
+// register file and used stack — the root set a TS-Scan walks.  The
+// caller accounts scan cost; ScanRoots itself charges nothing.
+func (t *Thread) ScanRoots(f func(word uint64)) {
+	for i := range t.regs {
+		f(t.regs[i])
+	}
+	for i := 0; i < t.sp; i++ {
+		f(t.stack[i])
+	}
+}
+
+// RootWords returns the number of words ScanRoots will visit.
+func (t *Thread) RootWords() int { return NumRegs + t.sp }
+
+// ---------------------------------------------------------------------
+// Memory primitives.  Addresses come from registers, results go to
+// registers; a handler can therefore never observe an "in flight"
+// reference that is in neither (paper Assumption 1.3).
+
+// memCost returns the cost of an access to addr, consulting the
+// per-core cache model when enabled.
+func (t *Thread) memCost(base int64, addr uint64) int64 {
+	if t.sim.caches == nil {
+		return base
+	}
+	if t.sim.caches[t.core].access(addr) {
+		return base
+	}
+	return base + t.sim.cfg.Costs.MissPenalty
+}
+
+// Load loads the word at regs[addrReg] + offWords*8 into regs[dst].
+func (t *Thread) Load(dst, addrReg int, offWords int) {
+	addr := t.Reg(addrReg) + uint64(offWords)*simmem.WordSize
+	t.charge(t.memCost(t.sim.cfg.Costs.Load, addr))
+	t.safepoint()
+	v := t.sim.heap.Load(addr)
+	t.checkReg(dst)
+	t.regs[dst] = v
+}
+
+// Store writes regs[srcReg] to the word at regs[addrReg] + offWords*8.
+func (t *Thread) Store(addrReg int, offWords int, srcReg int) {
+	t.storeVal(addrReg, offWords, t.Reg(srcReg))
+}
+
+// StoreImm writes the immediate val to regs[addrReg] + offWords*8.
+// Used for scalar fields (keys, flags) that are not references.
+func (t *Thread) StoreImm(addrReg int, offWords int, val uint64) {
+	t.storeVal(addrReg, offWords, val)
+}
+
+func (t *Thread) storeVal(addrReg int, offWords int, val uint64) {
+	addr := t.Reg(addrReg) + uint64(offWords)*simmem.WordSize
+	t.charge(t.memCost(t.sim.cfg.Costs.Store, addr))
+	t.safepoint()
+	t.sim.heap.Store(addr, val)
+}
+
+// CAS compares-and-swaps the word at regs[addrReg] + offWords*8 from
+// regs[oldReg] to regs[newReg], reporting success.
+func (t *Thread) CAS(addrReg int, offWords int, oldReg, newReg int) bool {
+	addr := t.Reg(addrReg) + uint64(offWords)*simmem.WordSize
+	t.charge(t.memCost(t.sim.cfg.Costs.CAS, addr))
+	t.safepoint()
+	return t.sim.heap.CompareAndSwap(addr, t.Reg(oldReg), t.Reg(newReg))
+}
+
+// CASImm is CAS with immediate old/new values taken from registers by
+// value; used by lock words where old/new are constants.
+func (t *Thread) CASImm(addrReg int, offWords int, old, new uint64) bool {
+	addr := t.Reg(addrReg) + uint64(offWords)*simmem.WordSize
+	t.charge(t.memCost(t.sim.cfg.Costs.CAS, addr))
+	t.safepoint()
+	return t.sim.heap.CompareAndSwap(addr, old, new)
+}
+
+// Fence models a full memory barrier (mfence).  Hazard-pointer
+// publication pays this on every traversal step — the cost the paper's
+// §6 identifies as HP's scalability limit.
+func (t *Thread) Fence() {
+	t.charge(t.sim.cfg.Costs.Fence)
+	t.safepoint()
+}
+
+// Alloc allocates size bytes and places the block address in regs[dst].
+func (t *Thread) Alloc(dst int, size int) {
+	t.charge(t.sim.cfg.Costs.Alloc + int64(size/simmem.WordSize))
+	t.safepoint()
+	addr := t.cache.Alloc(size)
+	t.checkReg(dst)
+	t.regs[dst] = addr
+}
+
+// FreeAddr returns the block at addr to the heap.  This is the
+// *allocator* free used inside reclamation schemes once a node is
+// proven unreachable; application code calls the scheme's Retire
+// instead.
+func (t *Thread) FreeAddr(addr uint64) {
+	t.charge(t.sim.cfg.Costs.Free)
+	t.safepoint()
+	t.cache.Free(addr)
+}
+
+// LoadAddr reads a heap word by absolute address, for library-internal
+// structures (delete buffers, registered heap blocks).  Application
+// data-structure code must use Load so references stay in registers.
+func (t *Thread) LoadAddr(addr uint64) uint64 {
+	t.charge(t.memCost(t.sim.cfg.Costs.Load, addr))
+	t.safepoint()
+	return t.sim.heap.Load(addr)
+}
+
+// StoreAddr writes a heap word by absolute address (library-internal).
+func (t *Thread) StoreAddr(addr uint64, val uint64) {
+	t.charge(t.memCost(t.sim.cfg.Costs.Store, addr))
+	t.safepoint()
+	t.sim.heap.Store(addr, val)
+}
+
+// ---------------------------------------------------------------------
+// Control.
+
+// Step charges one generic instruction and passes a safepoint.
+func (t *Thread) Step() {
+	t.charge(t.sim.cfg.Costs.Step)
+	t.safepoint()
+}
+
+// Work burns cycles of simulated computation, passing safepoints every
+// chunk so signals stay responsive (an application busy-loop cannot
+// block the protocol — paper §1.2).
+func (t *Thread) Work(cycles int64) {
+	const chunk = 200
+	for cycles > 0 {
+		c := int64(chunk)
+		if c > cycles {
+			c = cycles
+		}
+		t.charge(c)
+		cycles -= c
+		t.safepoint()
+	}
+}
+
+// Pause is one spin-wait iteration (the x86 PAUSE idiom): it charges
+// the pause cost into wait accounting and passes a safepoint.
+func (t *Thread) Pause() {
+	t.charge(t.sim.cfg.Costs.Pause)
+	t.waitCycles += t.sim.cfg.Costs.Pause
+	t.safepoint()
+}
+
+// Yield surrenders the rest of the quantum voluntarily.
+func (t *Thread) Yield() {
+	t.yieldCore(yYield)
+	t.safepoint()
+}
+
+// Sleep blocks for the given virtual duration.  It returns true if the
+// sleep was interrupted by a signal (EINTR semantics): the handler has
+// already run when Sleep returns.
+func (t *Thread) Sleep(cycles int64) (interrupted bool) {
+	t.sleeping = true
+	t.interrupted = false
+	t.wakeAt = t.now + cycles
+	t.yieldCore(ySleep)
+	t.sleeping = false
+	intr := t.interrupted
+	t.interrupted = false
+	t.safepoint()
+	return intr
+}

@@ -1,0 +1,207 @@
+// Package threadscan is a Go reproduction of "ThreadScan: Automatic and
+// Scalable Memory Reclamation" (Alistarh, Leiserson, Matveev, Shavit —
+// SPAA 2015): concurrent memory reclamation that discovers live
+// references automatically, by interrupting threads with signals and
+// scanning their stacks and registers, instead of asking the programmer
+// to track accesses (hazard pointers) or bracket operations (epochs).
+//
+// Because the mechanism is inseparable from an unmanaged runtime — real
+// ThreadScan hooks pthreads and POSIX signals and scans machine stacks,
+// none of which safe Go exposes — this library reproduces the system on
+// a deterministic simulated substrate:
+//
+//   - a discrete-event thread scheduler with virtual cores, quanta,
+//     signals, and a cycle-accurate virtual clock (internal/simt);
+//   - a word-addressable checked heap with a TCMalloc-style allocator,
+//     where any unsound free becomes a detected access violation
+//     (internal/simmem);
+//   - the ThreadScan protocol itself (internal/core), every baseline
+//     the paper evaluates (internal/reclaim), and the paper's three
+//     benchmark data structures (internal/ds);
+//   - the evaluation harness that regenerates the paper's figures
+//     (internal/harness).
+//
+// This package is the public facade: thin constructors and type
+// aliases over those internals.  See README.md for a tour, DESIGN.md
+// for the substitution rationale, and EXPERIMENTS.md for measured
+// results against the paper's.
+//
+// # Quick start
+//
+//	sim := threadscan.NewSimulation(threadscan.SimConfig{Cores: 4})
+//	ts := threadscan.New(sim, threadscan.Config{})
+//	list := threadscan.NewList(sim, ts, 0)
+//	for i := 0; i < 4; i++ {
+//		sim.Spawn("worker", func(th *threadscan.Thread) {
+//			list.Insert(th, 42)
+//			list.Remove(th, 42) // unlinked nodes are retired to ThreadScan
+//		})
+//	}
+//	if err := sim.Run(); err != nil { ... }
+package threadscan
+
+import (
+	"threadscan/internal/core"
+	"threadscan/internal/ds"
+	"threadscan/internal/harness"
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simmem"
+	"threadscan/internal/simt"
+)
+
+// Simulation substrate.
+type (
+	// Sim is a deterministic simulation instance: heap, threads,
+	// scheduler.
+	Sim = simt.Sim
+	// Thread is a simulated thread: register file, word stack, virtual
+	// clock.
+	Thread = simt.Thread
+	// SimConfig configures a simulation (cores, quantum, seed, heap...).
+	SimConfig = simt.Config
+	// CostModel assigns virtual-cycle costs to primitives.
+	CostModel = simt.CostModel
+	// HeapConfig configures the simulated heap.
+	HeapConfig = simmem.Config
+	// Violation is a detected memory-safety violation (the checked
+	// heap's verdict on an unsound reclamation scheme).
+	Violation = simmem.Violation
+)
+
+// NewSimulation creates a simulation from cfg.
+func NewSimulation(cfg SimConfig) *Sim { return simt.New(cfg) }
+
+// DefaultCosts returns the calibrated cycle-cost model.
+func DefaultCosts() CostModel { return simt.DefaultCosts() }
+
+// The ThreadScan protocol (the paper's contribution).
+type (
+	// Config parameterizes a ThreadScan domain (delete buffer size,
+	// scan lookup structure, the §7 HelpFree extension).
+	Config = core.Config
+	// ThreadScan is a reclamation domain: per-thread delete buffers and
+	// the signal-and-scan collect protocol.
+	ThreadScan = reclaim.ThreadScan
+	// Stats are ThreadScan protocol counters.
+	Stats = core.Stats
+	// LookupKind selects the TS-Scan membership structure.
+	LookupKind = core.LookupKind
+)
+
+// TS-Scan lookup structures (ablation A3; the paper uses LookupBinary).
+const (
+	LookupBinary = core.LookupBinary
+	LookupLinear = core.LookupLinear
+	LookupHash   = core.LookupHash
+)
+
+// New creates a ThreadScan reclamation domain bound to sim.  It must be
+// called before sim.Run (it installs thread start/exit hooks and the
+// scan signal handler).  The returned value implements Scheme; the
+// paper's free() is its Retire method, and the §4.3 heap-block
+// extension is available via Core().AddHeapBlock.
+func New(sim *Sim, cfg Config) *ThreadScan { return reclaim.NewThreadScan(sim, cfg) }
+
+// Baseline reclamation schemes (the paper's §6 comparators).
+type (
+	// Scheme is the common reclamation interface (BeginOp/EndOp,
+	// Protect, Retire, Flush).
+	Scheme = reclaim.Scheme
+	// SchemeStats are generic scheme counters.
+	SchemeStats = reclaim.Stats
+	// HazardConfig parameterizes hazard pointers.
+	HazardConfig = reclaim.HazardConfig
+	// EpochConfig parameterizes epoch-based reclamation (and its Slow
+	// Epoch variant via DelayCycles).
+	EpochConfig = reclaim.EpochConfig
+	// StackTrackConfig parameterizes the StackTrack-style baseline.
+	StackTrackConfig = reclaim.StackTrackConfig
+)
+
+// NewLeaky returns the no-reclamation baseline.
+func NewLeaky(sim *Sim) Scheme { return reclaim.NewLeaky(sim) }
+
+// NewHazard returns a hazard-pointer domain (Michael [37]).
+func NewHazard(sim *Sim, cfg HazardConfig) Scheme { return reclaim.NewHazard(sim, cfg) }
+
+// NewEpoch returns an epoch-based domain (Harris [20], McKenney [36]).
+func NewEpoch(sim *Sim, cfg EpochConfig) Scheme { return reclaim.NewEpoch(sim, cfg) }
+
+// NewSlowEpoch returns the paper's Slow Epoch variant: epoch-based
+// reclamation with an errant thread that busy-waits delayCycles during
+// its cleanup phase.
+func NewSlowEpoch(sim *Sim, batch int, delayCycles int64) Scheme {
+	return reclaim.NewSlowEpoch(sim, batch, delayCycles)
+}
+
+// NewStackTrack returns the StackTrack-style published-live-set
+// baseline (extension; see DESIGN.md S11).
+func NewStackTrack(sim *Sim, cfg StackTrackConfig) Scheme { return reclaim.NewStackTrack(sim, cfg) }
+
+// Benchmark data structures (the paper's §6 workloads).
+type (
+	// Set is the common concurrent-set interface.
+	Set = ds.Set
+	// List is Harris' lock-free linked list.
+	List = ds.List
+	// HashTable is the lock-free hash table (buckets of Harris lists).
+	HashTable = ds.HashTable
+	// SkipList is the lock-based lazy skip list.
+	SkipList = ds.SkipList
+)
+
+// Key bounds usable by the data structures (extremes are sentinels).
+const (
+	MinKey = ds.MinKey
+	MaxKey = ds.MaxKey
+)
+
+// SkipListHazardSlots is the hazard-slot count a Hazard domain needs to
+// run the skip list.
+const SkipListHazardSlots = ds.SkipListHazardSlots
+
+// NewList creates an empty Harris list.  nodeBytes of 0 selects the
+// paper's 172-byte padded nodes.
+func NewList(sim *Sim, scheme Scheme, nodeBytes int) *List {
+	return ds.NewList(sim, scheme, nodeBytes)
+}
+
+// NewHashTable creates a hash table with nBuckets buckets of Harris
+// lists.
+func NewHashTable(sim *Sim, scheme Scheme, nBuckets, nodeBytes int) *HashTable {
+	return ds.NewHashTable(sim, scheme, nBuckets, nodeBytes)
+}
+
+// NewSkipList creates a lock-based lazy skip list.
+func NewSkipList(sim *Sim, scheme Scheme) *SkipList {
+	return ds.NewSkipList(sim, scheme)
+}
+
+// Evaluation harness (regenerates the paper's figures).
+type (
+	// Experiment describes one benchmark data point.
+	Experiment = harness.Config
+	// Result is one experiment outcome.
+	Result = harness.Result
+	// SweepParams parameterizes a figure sweep.
+	SweepParams = harness.SweepParams
+	// Figure is a reproduced figure panel.
+	Figure = harness.Figure
+)
+
+// Workload scales.
+const (
+	ScaleQuick = harness.ScaleQuick
+	ScalePaper = harness.ScalePaper
+)
+
+// RunExperiment executes one benchmark data point.
+func RunExperiment(cfg Experiment) (Result, error) { return harness.Run(cfg) }
+
+// RunFig3 reproduces one panel of the paper's Figure 3 (throughput
+// scaling up to the hardware thread count).
+func RunFig3(dsName string, p SweepParams) (Figure, error) { return harness.RunFig3(dsName, p) }
+
+// RunFig4 reproduces one panel of the paper's Figure 4 (the
+// oversubscribed system).
+func RunFig4(dsName string, p SweepParams) (Figure, error) { return harness.RunFig4(dsName, p) }
