@@ -193,6 +193,89 @@ func TestFigureFacade(t *testing.T) {
 	}
 }
 
+func TestStackQueueViaFacade(t *testing.T) {
+	sim := newSim(6)
+	ts := threadscan.New(sim, threadscan.Config{BufferSize: 32})
+	st := threadscan.NewStack(sim, ts, 0)
+	q := threadscan.NewQueue(sim, ts, 0)
+	sim.Spawn("w", func(th *threadscan.Thread) {
+		for v := uint64(1); v <= 100; v++ {
+			st.Push(th, v)
+			q.Enqueue(th, v)
+		}
+		for v := uint64(100); v >= 51; v-- {
+			if got, ok := st.Pop(th); !ok || got != v {
+				t.Errorf("Pop = %d,%v want %d (LIFO)", got, ok, v)
+			}
+		}
+		for v := uint64(1); v <= 50; v++ {
+			if got, ok := q.Dequeue(th); !ok || got != v {
+				t.Errorf("Dequeue = %d,%v want %d (FIFO)", got, ok, v)
+			}
+		}
+		for r := 0; r < 16; r++ {
+			th.SetReg(r, 0)
+		}
+		ts.Flush(th)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 50 || q.Len() != 50 {
+		t.Fatalf("lens: stack %d queue %d", st.Len(), q.Len())
+	}
+	if stats := ts.Stats(); stats.Retired != stats.Freed {
+		t.Fatalf("reclaim accounting: %+v", stats)
+	}
+}
+
+func TestScenarioFacade(t *testing.T) {
+	if n := len(threadscan.BuiltinScenarios()); n < 6 {
+		t.Fatalf("only %d built-in scenarios", n)
+	}
+	spec, ok := threadscan.ScenarioByName("zipfian-skew")
+	if !ok {
+		t.Fatal("zipfian-skew missing")
+	}
+	spec = spec.Scale(0.1)
+	spec.DS = "queue"
+	spec.Scheme = "threadscan"
+	spec.Threads, spec.Cores = 2, 2
+	r, err := threadscan.RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.TraceHash == 0 {
+		t.Fatalf("empty scenario result: %+v", r)
+	}
+	if r.Footprint.FinalRetiredNodes != 0 {
+		t.Fatalf("garbage left after flush: %d", r.Footprint.FinalRetiredNodes)
+	}
+}
+
+func TestWorkloadTargetFacade(t *testing.T) {
+	sim := newSim(7)
+	sc := threadscan.NewLeaky(sim)
+	target, err := threadscan.WorkloadTargetFor(threadscan.NewList(sim, sc, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Spawn("w", func(th *threadscan.Thread) {
+		if !target.Apply(th, threadscan.OpInsert, 9) {
+			t.Error("insert via target failed")
+		}
+		if !target.Apply(th, threadscan.OpLookup, 9) {
+			t.Error("lookup via target failed")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if target.Size() != 1 {
+		t.Fatalf("target size %d", target.Size())
+	}
+}
+
 func TestKeyBoundsExported(t *testing.T) {
 	if threadscan.MinKey != 1 || threadscan.MaxKey <= threadscan.MinKey {
 		t.Fatalf("key bounds: %d..%d", threadscan.MinKey, threadscan.MaxKey)

@@ -1,7 +1,9 @@
-// Command tsbench regenerates the paper's evaluation: both figure
+// Command tsbench regenerates the paper's evaluation — both figure
 // families (Figure 3: throughput scaling; Figure 4: oversubscription)
 // and the ablations documented in DESIGN.md (A1 buffer size, A2 scan
-// cost, A3 scan lookup, A4 errant thread).
+// cost, A3 scan lookup, A4 errant thread) — and runs the declarative
+// scenario suite (skew, delete storms, thread churn, oversubscription)
+// with memory-footprint telemetry.
 //
 // Examples:
 //
@@ -10,6 +12,11 @@
 //	tsbench -fig 3 -ds hash -scale paper    # paper-exact workload (slow!)
 //	tsbench -ablation stall                 # A4: errant-thread contrast
 //	tsbench -single -ds skiplist -scheme threadscan -threads 16 -cores 8
+//
+//	tsbench scenarios -list                 # name every built-in scenario
+//	tsbench scenarios                       # full suite as JSON on stdout
+//	tsbench scenarios -scenario delete-storm,thread-churn -ds stack,queue
+//	tsbench scenarios -json suite.json -samples   # with footprint series
 package main
 
 import (
@@ -23,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
+		runScenarios(os.Args[2:])
+		return
+	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
 		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall")

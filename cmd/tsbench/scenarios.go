@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"threadscan/internal/harness"
+	"threadscan/internal/workload"
+)
+
+// runScenarios is the `tsbench scenarios` subcommand: run the
+// declarative workload suite (or a filtered slice of it) across a grid
+// of structures and schemes, and report throughput next to the
+// Hyaline-style robustness metric (peak retired-but-unreclaimed words)
+// as JSON.
+func runScenarios(args []string) {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	var (
+		list     = fs.Bool("list", false, "list built-in scenarios and exit")
+		names    = fs.String("scenario", "", "comma-separated scenario names (default: all built-ins)")
+		dss      = fs.String("ds", "list,stack,queue", "comma-separated structures to cross")
+		schemes  = fs.String("schemes", "leaky,epoch,threadscan", "comma-separated schemes to cross")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		scale    = fs.Float64("scale", 1, "stretch factor for all scenario durations")
+		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
+		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
+		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tsbench scenarios [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, s := range workload.Builtins() {
+			fmt.Fprintf(tw, "%s\t%s\n", s.Name, s.Desc)
+		}
+		tw.Flush()
+		return
+	}
+
+	var specs []workload.Scenario
+	if *names == "" {
+		specs = workload.Builtins()
+	} else {
+		for _, n := range strings.Split(*names, ",") {
+			s, ok := workload.ByName(strings.TrimSpace(n))
+			if !ok {
+				fatal(fmt.Errorf("unknown scenario %q (try -list)", n))
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	var results []harness.ScenarioResult
+	for _, base := range specs {
+		for _, dsName := range strings.Split(*dss, ",") {
+			for _, scheme := range strings.Split(*schemes, ",") {
+				spec := base.Scale(*scale)
+				spec.DS = strings.TrimSpace(dsName)
+				spec.Scheme = strings.TrimSpace(scheme)
+				spec.Seed = *seed
+				r, err := harness.RunScenario(spec)
+				if err != nil {
+					fatal(err)
+				}
+				if !*samples {
+					r.Footprint.Samples = nil
+				}
+				results = append(results, r)
+				fmt.Fprintf(os.Stderr, "· %-20s %-8s %-10s %8.0f ops/vsec  peak-garbage %d words\n",
+					r.Name, r.DS, r.Scheme, r.Throughput, r.Footprint.PeakRetiredWords)
+			}
+		}
+	}
+
+	if !*quietTbl {
+		writeScenarioTable(os.Stderr, results)
+	}
+
+	out := os.Stdout
+	if *jsonPath != "-" && *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+}
+
+// writeScenarioTable renders the grid: throughput and peak unreclaimed
+// garbage per scenario x structure x scheme.
+func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%.0f\t%d\t%d\t%d\t%d\n",
+			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, r.Ops, r.Throughput,
+			r.Footprint.PeakRetiredNodes, r.Footprint.PeakRetiredWords,
+			r.Footprint.FinalRetiredNodes, r.ChurnWorkers)
+	}
+	tw.Flush()
+}

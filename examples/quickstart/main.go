@@ -17,6 +17,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole example; the smoke test drives it directly.
+func run() error {
 	sim := threadscan.NewSimulation(threadscan.SimConfig{
 		Cores: 4,
 		Seed:  1,
@@ -55,7 +62,7 @@ func main() {
 	}
 
 	if err := sim.Run(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	st := ts.Core().Stats()
@@ -69,4 +76,5 @@ func main() {
 	heap := sim.Heap().Stats()
 	fmt.Printf("  heap             %d allocs, %d frees, %d live blocks\n",
 		heap.Allocs, heap.Frees, heap.LiveBlocks)
+	return nil
 }

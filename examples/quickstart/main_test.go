@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// Smoke test: the quickstart example must complete without violations
+// (the checked heap panics the run on any unsound free, which run()
+// surfaces as an error).
+func TestQuickstartRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

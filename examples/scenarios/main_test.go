@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// Smoke test: the scenarios example must complete at quick scale with
+// zero heap violations and zero leaked registrations (run() checks the
+// latter itself).
+func TestScenariosExampleRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

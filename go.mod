@@ -1,0 +1,3 @@
+module threadscan
+
+go 1.24

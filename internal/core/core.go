@@ -256,6 +256,20 @@ func (ts *ThreadScan) RemoveHeapBlock(t *simt.Thread, startAddr uint64, length i
 	panic("core: RemoveHeapBlock of unregistered block")
 }
 
+// RegisteredThreads returns the number of threads currently registered
+// with the domain (start-hooked but not yet exit-hooked).  After a
+// simulation completes it must be zero: a nonzero count means a thread
+// exited without deregistering — the leak thread-churn tests hunt for.
+func (ts *ThreadScan) RegisteredThreads() int {
+	n := 0
+	for _, r := range ts.registered {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
 // Buffered returns the number of retired-but-unreclaimed nodes across
 // all buffers (diagnostics and leak accounting).
 func (ts *ThreadScan) Buffered() int {

@@ -1,0 +1,204 @@
+package ds
+
+import (
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// Queue is the Michael–Scott lock-free FIFO queue (PODC '96), added
+// beyond the paper's three sorted-set benchmarks to exercise a FIFO
+// retirement pattern: every Dequeue retires the *dummy* node whose next
+// field concurrent dequeuers are dereferencing at that very moment, so
+// nodes age through the structure in allocation order and retirement
+// pressure concentrates at the head — the opposite shape of the
+// stack's LIFO churn and of the sets' scattered unlinks.
+//
+// Scheme cooperation follows Michael's own hazard-pointer formulation:
+// BeginOp/EndOp brackets, Protect on the head (and its successor)
+// before dereferencing with re-validation under the hazard discipline,
+// and Retire of the outgoing dummy on a successful Dequeue.
+//
+// Header layout (word offsets):   Node layout (word offsets):
+//
+//	0: head                          0: next
+//	1: tail                          1: value
+//	                                 2+: padding to nodeBytes
+const (
+	qHead  = 0
+	qTail  = 1
+	qnNext = 0
+	qnVal  = 1
+)
+
+// DefaultQueueNodeBytes pads queue nodes to a cache line.
+const DefaultQueueNodeBytes = 64
+
+// qMinNodeBytes covers the two mandatory fields.
+const qMinNodeBytes = 16
+
+// Queue is the Michael–Scott queue.
+type Queue struct {
+	sim       *simt.Sim
+	scheme    reclaim.Scheme
+	nodeBytes int
+	base      uint64 // address of the {head, tail} header words
+}
+
+// NewQueue creates an empty queue (one dummy node) bound to sim and
+// scheme.  nodeBytes of 0 selects the default 64-byte padding.  Must be
+// called from outside the simulation (setup time) before Run.
+func NewQueue(sim *simt.Sim, scheme reclaim.Scheme, nodeBytes int) *Queue {
+	if nodeBytes <= 0 {
+		nodeBytes = DefaultQueueNodeBytes
+	}
+	if nodeBytes < qMinNodeBytes {
+		nodeBytes = qMinNodeBytes
+	}
+	q := &Queue{sim: sim, scheme: scheme, nodeBytes: nodeBytes}
+	h := sim.Heap()
+	q.base = h.Alloc(16)
+	dummy := h.Alloc(nodeBytes)
+	h.Store(dummy+qnNext*8, 0)
+	h.Store(dummy+qnVal*8, 0)
+	h.Store(q.base+qHead*8, dummy)
+	h.Store(q.base+qTail*8, dummy)
+	return q
+}
+
+// Name identifies the structure in reports.
+func (q *Queue) Name() string { return "queue" }
+
+// NodeBytes returns the node allocation size.
+func (q *Queue) NodeBytes() int { return q.nodeBytes }
+
+// loadConsistent re-reads header word off into rVal and reports whether
+// it still equals rCurr — the MS consistency check, and the hazard
+// re-validation after publishing.
+func (q *Queue) loadConsistent(th *simt.Thread, off int) bool {
+	th.Load(rVal, rHead, off)
+	return th.Reg(rVal) == th.Reg(rCurr)
+}
+
+// Enqueue appends val at the tail.
+func (q *Queue) Enqueue(th *simt.Thread, val uint64) {
+	q.scheme.BeginOp(th)
+	disc := disciplined(q.scheme)
+	th.Alloc(rNode, q.nodeBytes)
+	th.StoreImm(rNode, qnNext, 0)
+	th.StoreImm(rNode, qnVal, val)
+	for {
+		th.SetReg(rHead, q.base)
+		th.Load(rCurr, rHead, qTail) // tail snapshot
+		if disc && q.scheme.Protect(th, hpA, rCurr) && !q.loadConsistent(th, qTail) {
+			continue // tail moved between read and publication
+		}
+		th.Load(rNext, rCurr, qnNext)
+		if !q.loadConsistent(th, qTail) {
+			continue // tail moved under us; next belongs to a stale tail
+		}
+		if th.Reg(rNext) != 0 {
+			// Tail is lagging: help swing it, then retry.
+			th.CAS(rHead, qTail, rCurr, rNext)
+			continue
+		}
+		if th.CASImm(rCurr, qnNext, 0, th.Reg(rNode)) {
+			// Linked; swing the tail (failure means someone helped).
+			th.CAS(rHead, qTail, rCurr, rNode)
+			q.scheme.EndOp(th)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, reporting false when
+// empty.  The node retired is the outgoing dummy (the previous head);
+// the dequeued value's node becomes the new dummy.
+func (q *Queue) Dequeue(th *simt.Thread) (uint64, bool) {
+	q.scheme.BeginOp(th)
+	disc := disciplined(q.scheme)
+	for {
+		th.SetReg(rHead, q.base)
+		th.Load(rCurr, rHead, qHead) // head (dummy) snapshot
+		if disc && q.scheme.Protect(th, hpA, rCurr) && !q.loadConsistent(th, qHead) {
+			continue
+		}
+		th.Load(rTmp, rHead, qTail) // tail snapshot
+		th.Load(rNext, rCurr, qnNext)
+		if disc && q.scheme.Protect(th, hpB, rNext) && !q.loadConsistent(th, qHead) {
+			continue // head moved; next may belong to a retired dummy
+		}
+		if !q.loadConsistent(th, qHead) {
+			continue
+		}
+		if th.Reg(rCurr) == th.Reg(rTmp) { // head == tail
+			if th.Reg(rNext) == 0 {
+				q.scheme.EndOp(th)
+				return 0, false // empty
+			}
+			// Tail is lagging behind a linked node: help swing it.
+			th.CAS(rHead, qTail, rTmp, rNext)
+			continue
+		}
+		// Read the value before unlinking: after our CAS another
+		// dequeuer may retire (and a scheme reclaim) the new dummy.
+		th.Load(rTmp2, rNext, qnVal)
+		val := th.Reg(rTmp2)
+		if th.CAS(rHead, qHead, rCurr, rNext) {
+			q.scheme.Retire(th, th.Reg(rCurr))
+			q.scheme.EndOp(th)
+			return val, true
+		}
+	}
+}
+
+// Peek returns the oldest value without removing it, reporting false
+// when empty — the queue's read-only traversal.
+func (q *Queue) Peek(th *simt.Thread) (uint64, bool) {
+	q.scheme.BeginOp(th)
+	disc := disciplined(q.scheme)
+	for {
+		th.SetReg(rHead, q.base)
+		th.Load(rCurr, rHead, qHead)
+		if disc && q.scheme.Protect(th, hpA, rCurr) && !q.loadConsistent(th, qHead) {
+			continue
+		}
+		th.Load(rNext, rCurr, qnNext)
+		if disc && q.scheme.Protect(th, hpB, rNext) && !q.loadConsistent(th, qHead) {
+			continue
+		}
+		if !q.loadConsistent(th, qHead) {
+			continue
+		}
+		if th.Reg(rNext) == 0 {
+			q.scheme.EndOp(th)
+			return 0, false
+		}
+		th.Load(rTmp2, rNext, qnVal)
+		val := th.Reg(rTmp2)
+		q.scheme.EndOp(th)
+		return val, true
+	}
+}
+
+// Len counts queued values outside the simulation (test/diagnostic use
+// only; quiescent sim).
+func (q *Queue) Len() int {
+	n := 0
+	h := q.sim.Heap()
+	dummy := h.Load(q.base + qHead*8)
+	for p := h.Load(dummy + qnNext*8); p != 0; p = h.Load(p + qnNext*8) {
+		n++
+	}
+	return n
+}
+
+// Values returns queued values head-to-tail (test use only).
+func (q *Queue) Values() []uint64 {
+	var out []uint64
+	h := q.sim.Heap()
+	dummy := h.Load(q.base + qHead*8)
+	for p := h.Load(dummy + qnNext*8); p != 0; p = h.Load(p + qnNext*8) {
+		out = append(out, h.Load(p+qnVal*8))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package ds
+
+import (
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// Stack is a Treiber lock-free stack (Treiber '86), added beyond the
+// paper's three sorted-set benchmarks to exercise a LIFO retirement
+// pattern: the node retired by a Pop is the node *every* concurrent Pop
+// is about to dereference, so the window between unlink and retire is
+// maximally contended — a shape none of the set structures produce.
+//
+// Reclamation is woven in through the same three touch points as the
+// sets: BeginOp/EndOp brackets, Protect on the about-to-be-dereferenced
+// top (hazard/publish disciplines), and Retire on a successful Pop.
+// Under safe schemes the classic Treiber ABA hazard cannot occur: the
+// popped node cannot return to the allocator (and hence cannot be
+// reallocated and re-pushed) while any thread still holds it in a
+// register, hazard slot, or epoch-protected operation.
+//
+// Node layout (word offsets):
+//
+//	0: next
+//	1: value
+//	2+: padding to nodeBytes
+const (
+	stkNext = 0
+	stkVal  = 1
+)
+
+// DefaultStackNodeBytes pads stack nodes to a cache line, the analog of
+// the sets' false-sharing padding at LIFO node sizes.
+const DefaultStackNodeBytes = 64
+
+// stkMinNodeBytes covers the two mandatory fields.
+const stkMinNodeBytes = 16
+
+// Stack is the Treiber stack.
+type Stack struct {
+	sim       *simt.Sim
+	scheme    reclaim.Scheme
+	nodeBytes int
+	topLink   uint64 // address of the top pointer word
+}
+
+// NewStack creates an empty stack bound to sim and scheme.  nodeBytes
+// of 0 selects the default 64-byte padding.  Must be called from
+// outside the simulation (setup time) before Run.
+func NewStack(sim *simt.Sim, scheme reclaim.Scheme, nodeBytes int) *Stack {
+	if nodeBytes <= 0 {
+		nodeBytes = DefaultStackNodeBytes
+	}
+	if nodeBytes < stkMinNodeBytes {
+		nodeBytes = stkMinNodeBytes
+	}
+	s := &Stack{sim: sim, scheme: scheme, nodeBytes: nodeBytes}
+	s.topLink = sim.Heap().Alloc(8)
+	sim.Heap().Store(s.topLink, 0)
+	return s
+}
+
+// Name identifies the structure in reports.
+func (s *Stack) Name() string { return "stack" }
+
+// NodeBytes returns the node allocation size.
+func (s *Stack) NodeBytes() int { return s.nodeBytes }
+
+// Push adds val to the top of the stack.
+func (s *Stack) Push(th *simt.Thread, val uint64) {
+	s.scheme.BeginOp(th)
+	th.Alloc(rNode, s.nodeBytes)
+	th.StoreImm(rNode, stkVal, val)
+	for {
+		th.SetReg(rPrev, s.topLink)
+		th.Load(rCurr, rPrev, 0)        // old top (no dereference needed)
+		th.Store(rNode, stkNext, rCurr) // node.next = top
+		if th.CAS(rPrev, 0, rCurr, rNode) {
+			break
+		}
+	}
+	s.scheme.EndOp(th)
+}
+
+// Pop removes and returns the top value, reporting false when empty.
+func (s *Stack) Pop(th *simt.Thread) (uint64, bool) {
+	s.scheme.BeginOp(th)
+	disc := disciplined(s.scheme)
+	for {
+		th.SetReg(rPrev, s.topLink)
+		th.Load(rCurr, rPrev, 0)
+		if th.Reg(rCurr) == 0 {
+			s.scheme.EndOp(th)
+			return 0, false
+		}
+		if disc && s.scheme.Protect(th, hpA, rCurr) && !validate(th) {
+			continue // top moved between read and publication
+		}
+		th.Load(rNext, rCurr, stkNext)
+		if !th.CAS(rPrev, 0, rCurr, rNext) {
+			continue
+		}
+		// Won the pop: read the value while the node is still pinned by
+		// our register (and hazard slot), then hand it to reclamation.
+		th.Load(rVal, rCurr, stkVal)
+		val := th.Reg(rVal)
+		s.scheme.Retire(th, th.Reg(rCurr))
+		s.scheme.EndOp(th)
+		return val, true
+	}
+}
+
+// Peek returns the top value without removing it, reporting false when
+// empty — the stack's unsynchronized read-only traversal.
+func (s *Stack) Peek(th *simt.Thread) (uint64, bool) {
+	s.scheme.BeginOp(th)
+	disc := disciplined(s.scheme)
+	for {
+		th.SetReg(rPrev, s.topLink)
+		th.Load(rCurr, rPrev, 0)
+		if th.Reg(rCurr) == 0 {
+			s.scheme.EndOp(th)
+			return 0, false
+		}
+		if disc && s.scheme.Protect(th, hpA, rCurr) && !validate(th) {
+			continue
+		}
+		th.Load(rVal, rCurr, stkVal)
+		val := th.Reg(rVal)
+		s.scheme.EndOp(th)
+		return val, true
+	}
+}
+
+// Len walks the stack outside the simulation (test/diagnostic use only;
+// quiescent sim).
+func (s *Stack) Len() int {
+	n := 0
+	h := s.sim.Heap()
+	for p := h.Load(s.topLink); p != 0; p = h.Load(p + stkNext*8) {
+		n++
+	}
+	return n
+}
+
+// Values returns top-to-bottom values (test use only; quiescent sim).
+func (s *Stack) Values() []uint64 {
+	var out []uint64
+	h := s.sim.Heap()
+	for p := h.Load(s.topLink); p != 0; p = h.Load(p + stkNext*8) {
+		out = append(out, h.Load(p+stkVal*8))
+	}
+	return out
+}

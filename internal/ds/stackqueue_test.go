@@ -1,0 +1,344 @@
+package ds
+
+import (
+	"testing"
+
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// The stack and queue must behave as linearizable LIFO/FIFO containers
+// under every reclamation scheme, on the checked heap (any unsound free
+// panics the run), including when threads exit mid-run.
+
+func TestStackSequentialSemantics(t *testing.T) {
+	for _, scheme := range allSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			s := testSim(1, 21)
+			sc := makeScheme(scheme, s)
+			st := NewStack(s, sc, 0)
+			var model []uint64
+			s.Spawn("driver", func(th *simt.Thread) {
+				rng := th.RNG()
+				for i := 0; i < 500; i++ {
+					switch rng.Intn(3) {
+					case 0, 1:
+						v := uint64(i + 1)
+						st.Push(th, v)
+						model = append(model, v)
+					default:
+						v, ok := st.Pop(th)
+						if len(model) == 0 {
+							if ok {
+								t.Errorf("Pop on empty returned %d", v)
+							}
+							continue
+						}
+						want := model[len(model)-1]
+						model = model[:len(model)-1]
+						if !ok || v != want {
+							t.Errorf("Pop = %d,%v want %d,true", v, ok, want)
+						}
+					}
+					if v, ok := st.Peek(th); ok != (len(model) > 0) ||
+						(ok && v != model[len(model)-1]) {
+						t.Errorf("Peek = %d,%v model top %v", v, ok, model)
+					}
+				}
+				for r := 0; r < simt.NumRegs; r++ {
+					th.SetReg(r, 0)
+				}
+				sc.Flush(th)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := st.Len(); got != len(model) {
+				t.Fatalf("final len %d, model %d", got, len(model))
+			}
+			vals := st.Values()
+			for i, v := range vals { // Values is top-to-bottom
+				if want := model[len(model)-1-i]; v != want {
+					t.Fatalf("value[%d] = %d, want %d", i, v, want)
+				}
+			}
+		})
+	}
+}
+
+func TestQueueSequentialSemantics(t *testing.T) {
+	for _, scheme := range allSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			s := testSim(1, 22)
+			sc := makeScheme(scheme, s)
+			q := NewQueue(s, sc, 0)
+			var model []uint64
+			s.Spawn("driver", func(th *simt.Thread) {
+				rng := th.RNG()
+				for i := 0; i < 500; i++ {
+					switch rng.Intn(3) {
+					case 0, 1:
+						v := uint64(i + 1)
+						q.Enqueue(th, v)
+						model = append(model, v)
+					default:
+						v, ok := q.Dequeue(th)
+						if len(model) == 0 {
+							if ok {
+								t.Errorf("Dequeue on empty returned %d", v)
+							}
+							continue
+						}
+						want := model[0]
+						model = model[1:]
+						if !ok || v != want {
+							t.Errorf("Dequeue = %d,%v want %d,true", v, ok, want)
+						}
+					}
+					if v, ok := q.Peek(th); ok != (len(model) > 0) ||
+						(ok && v != model[0]) {
+						t.Errorf("Peek = %d,%v model front %v", v, ok, model)
+					}
+				}
+				for r := 0; r < simt.NumRegs; r++ {
+					th.SetReg(r, 0)
+				}
+				sc.Flush(th)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := q.Len(); got != len(model) {
+				t.Fatalf("final len %d, model %d", got, len(model))
+			}
+			vals := q.Values()
+			for i, v := range vals { // Values is head-to-tail (FIFO order)
+				if v != model[i] {
+					t.Fatalf("value[%d] = %d, want %d", i, v, model[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStackQueueConcurrentConservation tags every pushed value with its
+// producer and sequence number, then checks element conservation: every
+// value that went in came out exactly once (popped or still present),
+// under every scheme, with full reclamation afterwards.
+func TestStackQueueConcurrentConservation(t *testing.T) {
+	for _, kind := range []string{"stack", "queue"} {
+		for _, scheme := range allSchemes {
+			kind, scheme := kind, scheme
+			t.Run(kind+"/"+scheme, func(t *testing.T) {
+				s := testSim(3, 99)
+				sc := makeScheme(scheme, s)
+				var push func(*simt.Thread, uint64)
+				var pop func(*simt.Thread) (uint64, bool)
+				var final func() []uint64
+				if kind == "stack" {
+					st := NewStack(s, sc, 0)
+					push, pop, final = st.Push, st.Pop, st.Values
+				} else {
+					q := NewQueue(s, sc, 0)
+					push, pop, final = q.Enqueue, q.Dequeue, q.Values
+				}
+				const nThreads, opsEach = 4, 300
+				popped := make([][]uint64, nThreads)
+				pushed := make([]int, nThreads)
+				barrier := s.NewBarrier("start", nThreads)
+				for i := 0; i < nThreads; i++ {
+					i := i
+					s.Spawn("worker", func(th *simt.Thread) {
+						barrier.Await(th)
+						rng := th.RNG()
+						for j := 0; j < opsEach; j++ {
+							if rng.Intn(2) == 0 {
+								push(th, uint64(i)<<32|uint64(pushed[i]+1))
+								pushed[i]++
+							} else if v, ok := pop(th); ok {
+								popped[i] = append(popped[i], v)
+							}
+						}
+						barrier.Await(th)
+						for r := 0; r < simt.NumRegs; r++ {
+							th.SetReg(r, 0)
+						}
+						barrier.Await(th)
+						sc.Flush(th)
+					})
+				}
+				if err := s.Run(); err != nil {
+					t.Fatalf("%s/%s: %v", kind, scheme, err)
+				}
+				seen := map[uint64]bool{}
+				out := 0
+				for i := range popped {
+					for _, v := range popped[i] {
+						if seen[v] {
+							t.Fatalf("value %x popped twice", v)
+						}
+						seen[v] = true
+						out++
+					}
+				}
+				remaining := final()
+				for _, v := range remaining {
+					if seen[v] {
+						t.Fatalf("value %x both popped and still present", v)
+					}
+					seen[v] = true
+				}
+				totalIn := 0
+				for i := range pushed {
+					totalIn += pushed[i]
+				}
+				if totalIn != out+len(remaining) {
+					t.Fatalf("conservation: pushed %d, popped %d + remaining %d",
+						totalIn, out, len(remaining))
+				}
+				for v := range seen {
+					producer := int(v >> 32)
+					seq := int(v & 0xFFFFFFFF)
+					if producer >= nThreads || seq < 1 || seq > pushed[producer] {
+						t.Fatalf("phantom value %x", v)
+					}
+				}
+				st := sc.Stats()
+				if scheme != "leaky" && st.Retired != st.Freed {
+					t.Fatalf("%s/%s: retired %d != freed %d (pending %d)",
+						kind, scheme, st.Retired, st.Freed, st.Pending)
+				}
+			})
+		}
+	}
+}
+
+// TestQueueFIFOOrderPerProducer: a FIFO queue must deliver each
+// producer's values in production order to any single consumer stream.
+func TestQueueFIFOOrderPerProducer(t *testing.T) {
+	s := testSim(2, 5)
+	sc := makeScheme("threadscan", s)
+	q := NewQueue(s, sc, 0)
+	const nProducers, perProducer = 3, 200
+	var consumed []uint64
+	done := 0
+	s.Spawn("consumer", func(th *simt.Thread) {
+		for len(consumed) < nProducers*perProducer {
+			if v, ok := q.Dequeue(th); ok {
+				consumed = append(consumed, v)
+			} else if done == nProducers && q.Len() == 0 {
+				break
+			} else {
+				th.Pause()
+			}
+		}
+		for r := 0; r < simt.NumRegs; r++ {
+			th.SetReg(r, 0)
+		}
+		sc.Flush(th)
+	})
+	for p := 0; p < nProducers; p++ {
+		p := p
+		s.Spawn("producer", func(th *simt.Thread) {
+			for j := 1; j <= perProducer; j++ {
+				q.Enqueue(th, uint64(p)<<32|uint64(j))
+			}
+			done++
+			for r := 0; r < simt.NumRegs; r++ {
+				th.SetReg(r, 0)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(consumed) != nProducers*perProducer {
+		t.Fatalf("consumed %d of %d", len(consumed), nProducers*perProducer)
+	}
+	lastSeq := map[int]int{}
+	for _, v := range consumed {
+		p, seq := int(v>>32), int(v&0xFFFFFFFF)
+		if seq != lastSeq[p]+1 {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+	}
+}
+
+// TestStackQueueChurnThreadScan hammers the new structures while
+// workers exit mid-run and fresh threads spawn mid-run (SpawnFrom) —
+// the registration/deregistration and signal-delivery stress the static
+// thread sets of the set benchmarks never produce.
+func TestStackQueueChurnThreadScan(t *testing.T) {
+	for _, kind := range []string{"stack", "queue"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			s := testSim(2, 31)
+			sc := makeScheme("threadscan", s)
+			ts := sc.(*reclaim.ThreadScan)
+			var push func(*simt.Thread, uint64)
+			var pop func(*simt.Thread) (uint64, bool)
+			if kind == "stack" {
+				st := NewStack(s, sc, 0)
+				push, pop = st.Push, st.Pop
+			} else {
+				q := NewQueue(s, sc, 0)
+				push, pop = q.Enqueue, q.Dequeue
+			}
+			work := func(th *simt.Thread, ops int) {
+				rng := th.RNG()
+				for j := 0; j < ops; j++ {
+					if rng.Intn(2) == 0 {
+						push(th, uint64(j+1))
+					} else {
+						pop(th)
+					}
+				}
+				for r := 0; r < simt.NumRegs; r++ {
+					th.SetReg(r, 0)
+				}
+			}
+			spawned := 0
+			s.Spawn("root", func(th *simt.Thread) {
+				// Three generations: each spawns successors mid-run,
+				// works, and exits before they finish.
+				var gen func(depth int) func(*simt.Thread)
+				gen = func(depth int) func(*simt.Thread) {
+					return func(w *simt.Thread) {
+						spawned++
+						if depth < 3 {
+							for k := 0; k < 2; k++ {
+								s.SpawnFrom(w, "churn", gen(depth+1))
+							}
+						}
+						work(w, 150)
+					}
+				}
+				gen(0)(th)
+				work(th, 100)
+			})
+			s.Spawn("closer", func(th *simt.Thread) {
+				// Outlives the churn (sleeps past it), then flushes.
+				for s.Clock() < 1 || ts.Core().RegisteredThreads() > 1 {
+					th.Sleep(50_000)
+				}
+				sc.Flush(th)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatalf("%s churn: %v", kind, err)
+			}
+			if spawned != 15 { // 1+2+4+8
+				t.Fatalf("spawned %d churn workers, want 15", spawned)
+			}
+			if got := ts.Core().RegisteredThreads(); got != 0 {
+				t.Fatalf("leaked registrations: %d", got)
+			}
+			st := sc.Stats()
+			if st.Retired != st.Freed {
+				t.Fatalf("retired %d != freed %d after churn flush", st.Retired, st.Freed)
+			}
+		})
+	}
+}

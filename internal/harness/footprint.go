@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simt"
+)
+
+// Memory-footprint telemetry: the Hyaline-style robustness metric.
+// Throughput says how fast a scheme runs; the footprint time series
+// says how much retired-but-unreclaimed garbage it lets accumulate
+// while running — the axis on which the related work (Hyaline,
+// Crystalline) argues reclamation schemes must actually be compared.
+// A scheme with great throughput and unbounded peak garbage (Leaky is
+// the limit case) fails workloads a bounded scheme survives.
+
+// FootprintSample is one point of the time series.
+type FootprintSample struct {
+	At int64 `json:"at_cycles"` // virtual time of the sample
+
+	// LiveWords is every live allocation in the arena: structure nodes,
+	// retired-but-unreclaimed nodes, and infrastructure words.
+	LiveWords uint64 `json:"live_words"`
+
+	// RetiredNodes / RetiredWords are nodes handed to Retire and not
+	// yet returned to the allocator — the scheme's garbage at this
+	// instant (delete buffers, retire lists, orphans, leaked nodes).
+	RetiredNodes uint64 `json:"retired_nodes"`
+	RetiredWords uint64 `json:"retired_words"`
+}
+
+// Footprint is the sampled series plus its peaks.
+type Footprint struct {
+	SampleEvery int64 `json:"sample_every_cycles"`
+	NodeWords   int   `json:"node_words"` // allocator words per structure node
+
+	Samples []FootprintSample `json:"samples,omitempty"`
+
+	PeakLiveWords    uint64 `json:"peak_live_words"`
+	PeakRetiredNodes uint64 `json:"peak_retired_nodes"`
+	PeakRetiredWords uint64 `json:"peak_retired_words"` // peak unreclaimed garbage
+
+	// FinalRetiredNodes is the garbage still held after teardown flush:
+	// 0 for every sound reclaiming scheme, the whole graveyard for
+	// Leaky.
+	FinalRetiredNodes uint64 `json:"final_retired_nodes"`
+}
+
+// footprintSampler runs inside a dedicated simulated thread, sampling
+// scheme and heap counters on a virtual-time cadence.  Reading the
+// counters is host-side work (the discrete-event scheduler serializes
+// all threads, so a quiescent read is always consistent); the sampler
+// charges a token cost per sample so it occupies a core slot like a
+// real monitoring thread would.
+type footprintSampler struct {
+	sim    *simt.Sim
+	scheme reclaim.Scheme
+	fp     Footprint
+	stop   bool
+}
+
+func newFootprintSampler(sim *simt.Sim, scheme reclaim.Scheme, nodeWords int, every int64) *footprintSampler {
+	return &footprintSampler{
+		sim:    sim,
+		scheme: scheme,
+		fp:     Footprint{SampleEvery: every, NodeWords: nodeWords},
+	}
+}
+
+// run is the sampler thread body: sample every SampleEvery cycles until
+// stopped, then take one final post-flush sample.
+func (f *footprintSampler) run(th *simt.Thread) {
+	for !f.stop {
+		f.sample(th)
+		next := th.Now() + f.fp.SampleEvery
+		for th.Now() < next && !f.stop {
+			th.Sleep(next - th.Now()) // re-sleep across EINTR (scan signals)
+		}
+	}
+	f.sample(th)
+	f.fp.FinalRetiredNodes = f.garbage()
+}
+
+func (f *footprintSampler) garbage() uint64 {
+	st := f.scheme.Stats()
+	return st.Retired - st.Freed
+}
+
+func (f *footprintSampler) sample(th *simt.Thread) {
+	th.Charge(200) // counter reads + stores
+	retired := f.garbage()
+	s := FootprintSample{
+		At:           th.Now(),
+		LiveWords:    f.sim.Heap().Stats().LiveBytes / 8,
+		RetiredNodes: retired,
+		RetiredWords: retired * uint64(f.fp.NodeWords),
+	}
+	f.fp.Samples = append(f.fp.Samples, s)
+	if s.LiveWords > f.fp.PeakLiveWords {
+		f.fp.PeakLiveWords = s.LiveWords
+	}
+	if s.RetiredNodes > f.fp.PeakRetiredNodes {
+		f.fp.PeakRetiredNodes = s.RetiredNodes
+		f.fp.PeakRetiredWords = s.RetiredWords
+	}
+}

@@ -51,12 +51,13 @@ type Config struct {
 	Buckets   int // hash; 0 = KeyRange/32 (paper: expected bucket 32)
 
 	// Scheme parameters.
-	BufferSize int             // threadscan delete buffer; 0 = 1024
-	HelpFree   bool            // threadscan §7 extension
-	Lookup     core.LookupKind // threadscan scan lookup (ablation A3)
-	Batch      int             // hazard/epoch/stacktrack batch; 0 = 1024
-	SlowDelay  int64           // slow-epoch cleanup stall; 0 = 40ms
-	SegmentLen int             // stacktrack segment; 0 = 16
+	BufferSize  int             // threadscan delete buffer; 0 = 1024
+	HelpFree    bool            // threadscan §7 extension
+	Lookup      core.LookupKind // threadscan scan lookup (ablation A3)
+	Batch       int             // hazard/epoch/stacktrack batch; 0 = 1024
+	SlowDelay   int64           // slow-epoch cleanup stall; 0 = 40ms
+	DelayVictim int             // slow-epoch errant thread id; 0 = thread 0
+	SegmentLen  int             // stacktrack segment; 0 = 16
 
 	// Errant-thread injection (ablation A4): thread 0 executes one
 	// empty operation stalled for StallCycles every StallEvery ops.
@@ -169,7 +170,8 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 		return reclaim.NewEpoch(sim, reclaim.EpochConfig{Batch: cfg.Batch}), nil, nil
 	case "slow-epoch":
 		return reclaim.NewEpoch(sim, reclaim.EpochConfig{
-			Batch: cfg.Batch, DelayCycles: cfg.SlowDelay}), nil, nil
+			Batch: cfg.Batch, DelayCycles: cfg.SlowDelay,
+			DelayVictim: cfg.DelayVictim}), nil, nil
 	case "threadscan":
 		ts := reclaim.NewThreadScan(sim, core.Config{
 			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup})

@@ -1,0 +1,405 @@
+// Scenario engine: executes the declarative workloads of
+// internal/workload against the simulated substrate — phased op mixes,
+// skewed key distributions, mid-run thread churn (via simt.SpawnFrom),
+// and footprint telemetry — where the classic Run executes only the
+// paper's single workload shape.
+
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"threadscan/internal/core"
+	"threadscan/internal/ds"
+	"threadscan/internal/reclaim"
+	"threadscan/internal/simmem"
+	"threadscan/internal/simt"
+	"threadscan/internal/workload"
+)
+
+// ScenarioResult is one scenario outcome.
+type ScenarioResult struct {
+	Scenario workload.Scenario `json:"-"`
+
+	Name   string `json:"scenario"`
+	DS     string `json:"ds"`
+	Scheme string `json:"scheme"`
+
+	Threads int `json:"threads"` // persistent workers
+	Cores   int `json:"cores"`
+
+	Ops            uint64  `json:"ops"`
+	ElapsedCycles  int64   `json:"elapsed_cycles"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	Throughput     float64 `json:"throughput_ops_per_vsec"`
+
+	// TraceHash digests the full op stream (per worker, in spawn
+	// order): equal seeds must yield equal hashes.
+	TraceHash uint64 `json:"trace_hash"`
+
+	FinalSize int `json:"final_size"`
+
+	ChurnWorkers int `json:"churn_workers"` // mid-run spawned-and-exited threads
+
+	// LeakedRegistrations counts threads still registered with the
+	// ThreadScan domain after every thread exited (must be 0; -1 for
+	// other schemes).
+	LeakedRegistrations int `json:"leaked_registrations"`
+
+	Footprint Footprint `json:"footprint"`
+
+	SchemeStats reclaim.Stats `json:"scheme_stats"`
+	Core        *core.Stats   `json:"threadscan_stats,omitempty"`
+
+	WallTime time.Duration `json:"-"`
+}
+
+// scenarioNodeWords reports the allocator words one structure node
+// occupies (for garbage accounting and arena sizing), from the spec
+// alone.
+func scenarioNodeWords(spec *workload.Scenario) (int, error) {
+	nb := spec.NodeBytes
+	switch spec.DS {
+	case "list", "hash":
+		if nb <= 0 {
+			nb = ds.DefaultNodeBytes
+		}
+	case "skiplist":
+		nb = 15 * 8 // fixed-size nodes, as in the paper
+	case "stack":
+		if nb <= 0 {
+			nb = ds.DefaultStackNodeBytes
+		}
+	case "queue":
+		if nb <= 0 {
+			nb = ds.DefaultQueueNodeBytes
+		}
+	default:
+		return 0, fmt.Errorf("harness: unknown data structure %q", spec.DS)
+	}
+	return simmem.ClassSizeBytes(nb) / 8, nil
+}
+
+// buildTarget constructs the scenario's structure.
+func buildTarget(sim *simt.Sim, sc reclaim.Scheme, spec *workload.Scenario) (workload.Target, error) {
+	var structure any
+	switch spec.DS {
+	case "list":
+		structure = ds.NewList(sim, sc, spec.NodeBytes)
+	case "hash":
+		buckets := spec.Buckets
+		if buckets == 0 {
+			buckets = int(spec.KeyRange / 32)
+			if buckets < 1 {
+				buckets = 1
+			}
+		}
+		structure = ds.NewHashTable(sim, sc, buckets, spec.NodeBytes)
+	case "skiplist":
+		structure = ds.NewSkipList(sim, sc)
+	case "stack":
+		structure = ds.NewStack(sim, sc, spec.NodeBytes)
+	case "queue":
+		structure = ds.NewQueue(sim, sc, spec.NodeBytes)
+	default:
+		return nil, fmt.Errorf("harness: unknown data structure %q", spec.DS)
+	}
+	return workload.TargetFor(structure)
+}
+
+// scenarioHeapWords sizes the arena for the worst case the scenario can
+// produce: the live set, every scheme's buffered retirees, and — since
+// Leaky never frees — every allocation the run could possibly make.
+// Inserts are bounded per core and phase by the mix: with i% inserts at
+// a floor of insCost cycles and the rest at otherCost (a pop or peek on
+// an empty container is only a handful of loads), at most
+// duration*i / (i*insCost + (100-i)*otherCost) inserts fit in a phase.
+func scenarioHeapWords(spec *workload.Scenario, nodeWords int) int {
+	if spec.HeapWords > 0 {
+		return spec.HeapWords
+	}
+	insCost, otherCost := int64(100), int64(10) // stack/queue floors
+	switch spec.DS {
+	case "list", "hash", "skiplist":
+		insCost, otherCost = 250, 60 // every op traverses
+	}
+	var allocNodes64 int64
+	for _, p := range spec.Phases {
+		i := int64(p.Mix.InsertPct)
+		if i == 0 {
+			continue
+		}
+		allocNodes64 += p.Duration * i / (i*insCost + (100-i)*otherCost)
+	}
+	allocNodes := int(allocNodes64) * spec.Cores
+	workers := spec.Threads + 2
+	if spec.Churn != nil {
+		workers += spec.Churn.TotalWorkers()
+	}
+	buf, batch := spec.BufferSize, spec.Batch
+	if buf == 0 {
+		buf = core.DefaultBufferSize
+	}
+	if batch == 0 {
+		batch = 1024
+	}
+	liveMax := int(spec.KeyRange) + spec.Prefill + allocNodes + workers*(buf+batch) + 4096
+	words := liveMax * nodeWords * 3 / 2
+	p := 1 << 16
+	for p < words {
+		p <<= 1
+	}
+	return p
+}
+
+// scenarioRun carries the mutable run state.  Every field is touched
+// only from simulated-thread contexts, which the discrete-event
+// scheduler serializes — no host synchronization needed, and the run
+// stays deterministic.
+type scenarioRun struct {
+	spec   *workload.Scenario
+	sim    *simt.Sim
+	scheme reclaim.Scheme
+	target workload.Target
+
+	phaseEnd []int64 // cumulative phase end offsets
+
+	mutators     int  // workers that may still hold references
+	spawningDone bool // controller finished launching churn generations
+	churned      int  // churn workers that ran and exited
+
+	startAt  map[int]int64 // thread id -> measured-phase start
+	finishAt map[int]int64
+	traces   map[int]uint64 // thread id -> op-trace digest
+
+	sampler *footprintSampler
+}
+
+// work drives ops from base until deadline, crossing phase boundaries
+// at absolute virtual times so all workers change phase together.
+func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
+	rng := th.RNG()
+	tr := workload.NewTrace()
+	phase := 0
+	gen := workload.NewKeyGen(r.spec.Phases[0].Dist, r.spec.KeyRange, rng)
+	for th.Now() < deadline {
+		for phase < len(r.spec.Phases)-1 && th.Now() >= base+r.phaseEnd[phase] {
+			phase++
+			gen = workload.NewKeyGen(r.spec.Phases[phase].Dist, r.spec.KeyRange, rng)
+		}
+		p := &r.spec.Phases[phase]
+		phaseStart := base
+		if phase > 0 {
+			phaseStart += r.phaseEnd[phase-1]
+		}
+		frac := float64(th.Now()-phaseStart) / float64(p.Duration)
+		if frac >= 1 {
+			frac = 0.999999 // oversubscribed final-phase overhang
+		}
+		key := gen.Key(frac)
+		op := p.Mix.Pick(rng.Intn(100))
+		ok := r.target.Apply(th, op, key)
+		tr.Record(op, key, ok)
+		th.AddOps(1)
+	}
+	r.traces[th.ID()] = tr.Sum()
+}
+
+// retire ends a worker's mutating life: drop every stale reference,
+// then leave the mutator count.
+func (r *scenarioRun) retire(th *simt.Thread) {
+	for reg := 0; reg < simt.NumRegs; reg++ {
+		th.SetReg(reg, 0)
+	}
+	r.mutators--
+}
+
+// RunScenario executes one scenario and returns its result.
+func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
+	if err := spec.Fill(); err != nil {
+		return ScenarioResult{}, err
+	}
+	total := spec.TotalDuration()
+	quantum := spec.Quantum
+	if quantum == 0 {
+		quantum = 125_000
+	}
+	workers := spec.Threads
+	if spec.Churn != nil {
+		workers += spec.Churn.TotalWorkers()
+	}
+
+	// Scheme construction reuses the classic harness builder; the
+	// remaining Config fields only feed defaults it fills itself.
+	// Slow-epoch's errant victim is the first worker (thread 1 — the
+	// sampler occupies id 0).
+	schemeCfg := Config{
+		Scheme:      spec.Scheme,
+		BufferSize:  spec.BufferSize,
+		Batch:       spec.Batch,
+		DelayVictim: 1,
+	}
+	schemeCfg.fill()
+
+	nodeWords, err := scenarioNodeWords(&spec)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	sim := simt.New(simt.Config{
+		Cores:      spec.Cores,
+		Quantum:    quantum,
+		Seed:       spec.Seed,
+		StackWords: 256,
+		MaxCycles:  total*int64(workers+4)*4 + 4_000_000_000,
+		Heap: simmem.Config{
+			Words: scenarioHeapWords(&spec, nodeWords), Check: true, Poison: true},
+	})
+	sc, tsCore, err := BuildScheme(sim, schemeCfg)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	target, err := buildTarget(sim, sc, &spec)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	r := &scenarioRun{
+		spec:     &spec,
+		sim:      sim,
+		scheme:   sc,
+		target:   target,
+		startAt:  make(map[int]int64),
+		finishAt: make(map[int]int64),
+		traces:   make(map[int]uint64),
+		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
+	}
+	var cum int64
+	for _, p := range spec.Phases {
+		cum += p.Duration
+		r.phaseEnd = append(r.phaseEnd, cum)
+	}
+
+	nT := spec.Threads
+	participants := nT
+	if spec.Churn != nil {
+		participants++ // the churn controller joins the start line
+	}
+	startBar := sim.NewBarrier("scenario-start", participants)
+	r.mutators = nT
+
+	// The sampler spawns first (thread id 0): it must register with the
+	// reclamation scheme before the workers make the registration lock
+	// hot, or a retire-storm can starve it out of its first dispatch
+	// for the whole run (registration contends with TS-Collect, which
+	// holds the same lock — the price of mid-run registration that the
+	// churn scenarios measure on purpose; telemetry should not pay it).
+	sim.Spawn("sampler", r.sampler.run)
+
+	for i := 0; i < nT; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("w%d", i), func(th *simt.Thread) {
+			for k := i; k < spec.Prefill; k += nT {
+				key := ds.MinKey + uint64(k)*spec.KeyRange/uint64(spec.Prefill)
+				r.target.Apply(th, workload.OpInsert, key)
+			}
+			startBar.Await(th)
+			start := th.Now()
+			r.startAt[th.ID()] = start
+			r.work(th, start, start+total)
+			r.finishAt[th.ID()] = th.Now()
+			r.retire(th)
+			if i == 0 {
+				// Last responsibilities fall to worker 0: wait until
+				// every mutator (persistent or churned) has dropped its
+				// references, then flush the scheme and stop telemetry.
+				for r.mutators > 0 || !r.spawningDone {
+					th.Pause()
+				}
+				sc.Flush(th)
+				r.sampler.stop = true
+			}
+		})
+	}
+
+	if spec.Churn != nil {
+		ch := spec.Churn
+		sim.Spawn("churn-ctl", func(th *simt.Thread) {
+			startBar.Await(th)
+			start := th.Now()
+			for g := 0; g < ch.Generations; g++ {
+				for at := start + ch.Start(g); th.Now() < at; {
+					th.Sleep(at - th.Now()) // re-sleep across EINTR
+				}
+				for j := 0; j < ch.Workers; j++ {
+					r.mutators++
+					name := fmt.Sprintf("churn%d.%d", g, j)
+					sim.SpawnFrom(th, name, func(w *simt.Thread) {
+						end := w.Now() + ch.Life
+						if max := start + total; end > max {
+							end = max
+						}
+						r.work(w, start, end)
+						r.retire(w)
+						r.churned++
+					})
+				}
+			}
+			r.spawningDone = true
+		})
+	} else {
+		r.spawningDone = true
+	}
+
+	wallStart := time.Now()
+	if err := sim.Run(); err != nil {
+		return ScenarioResult{}, fmt.Errorf("scenario %s (%s/%s): %w",
+			spec.Name, spec.DS, spec.Scheme, err)
+	}
+
+	res := ScenarioResult{
+		Scenario:            spec,
+		Name:                spec.Name,
+		DS:                  spec.DS,
+		Scheme:              spec.Scheme,
+		Threads:             spec.Threads,
+		Cores:               spec.Cores,
+		ChurnWorkers:        r.churned,
+		LeakedRegistrations: -1,
+		Footprint:           r.sampler.fp,
+		SchemeStats:         sc.Stats(),
+		FinalSize:           target.Size(),
+		WallTime:            time.Since(wallStart),
+	}
+	if tsCore != nil {
+		st := tsCore.Stats()
+		res.Core = &st
+		res.LeakedRegistrations = tsCore.RegisteredThreads()
+	}
+	var sums []uint64
+	var minStart, maxFinish int64
+	first := true
+	for _, th := range sim.Threads() {
+		res.Ops += th.Ops()
+		if s, ok := r.startAt[th.ID()]; ok {
+			if first || s < minStart {
+				minStart = s
+			}
+			first = false
+		}
+		if f, ok := r.finishAt[th.ID()]; ok && f > maxFinish {
+			maxFinish = f
+		}
+		if sum, ok := r.traces[th.ID()]; ok {
+			sums = append(sums, sum) // Threads() is spawn-ordered
+		}
+	}
+	res.TraceHash = workload.CombineTraces(sums)
+	res.ElapsedCycles = maxFinish - minStart
+	res.VirtualSeconds = float64(res.ElapsedCycles) / 1e9
+	if res.VirtualSeconds > 0 {
+		res.Throughput = float64(res.Ops) / res.VirtualSeconds
+	}
+	return res, nil
+}

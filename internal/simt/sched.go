@@ -114,12 +114,49 @@ func (s *Sim) OnThreadStart(h func(*Thread)) { s.startHooks = append(s.startHook
 func (s *Sim) OnThreadExit(h func(*Thread)) { s.exitHooks = append(s.exitHooks, h) }
 
 // Spawn adds a thread executing body.  Threads start runnable at
-// virtual time zero when Run is called.  Must be called before Run.
+// virtual time zero when Run is called.  Must be called before Run;
+// running threads create further threads with SpawnFrom.
 func (s *Sim) Spawn(name string, body func(*Thread)) *Thread {
 	if s.started {
-		panic("simt: Spawn after Run")
+		panic("simt: Spawn after Run (use SpawnFrom from a running thread)")
 	}
-	t := &Thread{
+	t := s.newThread(name, body)
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// SpawnFrom adds a thread mid-run, from the context of the running
+// thread parent — the analog of pthread_create during execution, which
+// is what thread-churn workloads need.  The new thread becomes runnable
+// at the parent's current virtual time (plus the context-switch cost the
+// parent is charged for the creation) and runs every OnThreadStart hook
+// in its own context at first dispatch, so reclamation schemes see a
+// genuine mid-run registration.  Before Run it behaves exactly like
+// Spawn.  Must not be called after Run has returned.
+func (s *Sim) SpawnFrom(parent *Thread, name string, body func(*Thread)) *Thread {
+	if !s.started {
+		return s.Spawn(name, body)
+	}
+	if s.done {
+		panic("simt: SpawnFrom after the simulation finished")
+	}
+	if parent == nil || parent.exited {
+		panic("simt: SpawnFrom requires a live parent thread")
+	}
+	parent.charge(s.cfg.Costs.ContextSwitch) // thread-creation cost
+	t := s.newThread(name, body)
+	t.readyAt = parent.now
+	s.threads = append(s.threads, t)
+	s.live++
+	go t.main()
+	return t
+}
+
+// newThread builds a thread record (shared by Spawn and SpawnFrom).
+// The RNG seed depends only on Config.Seed and the spawn index, so runs
+// with identical configs and schedules stay reproducible.
+func (s *Sim) newThread(name string, body func(*Thread)) *Thread {
+	return &Thread{
 		sim:      s,
 		id:       len(s.threads),
 		name:     name,
@@ -129,8 +166,6 @@ func (s *Sim) Spawn(name string, body func(*Thread)) *Thread {
 		runnable: true,
 		rng:      rand.New(rand.NewSource(s.cfg.Seed ^ int64(uint64(len(s.threads)+1)*0x9E3779B97F4A7C15>>1))),
 	}
-	s.threads = append(s.threads, t)
-	return t
 }
 
 // quantum is one scheduling grant: run from start until a safepoint at

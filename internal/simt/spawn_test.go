@@ -1,0 +1,80 @@
+package simt
+
+import "testing"
+
+// Mid-run spawning (SpawnFrom) underpins thread-churn workloads: a
+// running thread creates fresh threads that register with reclamation
+// schemes through the ordinary start hooks, run, and exit mid-run.
+
+func TestSpawnFromMidRun(t *testing.T) {
+	s := New(testConfig())
+	var starts, exits []int
+	s.OnThreadStart(func(th *Thread) { starts = append(starts, th.ID()) })
+	s.OnThreadExit(func(th *Thread) { exits = append(exits, th.ID()) })
+
+	childRan := false
+	var childStartAt int64
+	s.Spawn("parent", func(th *Thread) {
+		th.Work(5_000)
+		child := s.SpawnFrom(th, "child", func(c *Thread) {
+			childStartAt = c.Now()
+			childRan = true
+			c.Work(2_000)
+		})
+		if child.ID() != 1 {
+			t.Errorf("child id = %d, want 1", child.ID())
+		}
+		th.Work(20_000)
+	})
+	mustRun(t, s)
+
+	if !childRan {
+		t.Fatal("mid-run child never ran")
+	}
+	if childStartAt < 5_000 {
+		t.Fatalf("child started at %d, before its spawn point", childStartAt)
+	}
+	if len(starts) != 2 || len(exits) != 2 {
+		t.Fatalf("hooks: starts %v exits %v, want both [0 1] in some order", starts, exits)
+	}
+}
+
+func TestSpawnFromBeforeRunActsLikeSpawn(t *testing.T) {
+	s := New(testConfig())
+	ran := false
+	s.SpawnFrom(nil, "w", func(th *Thread) { ran = true })
+	mustRun(t, s)
+	if !ran {
+		t.Fatal("pre-run SpawnFrom thread did not run")
+	}
+}
+
+func TestSpawnFromNestedGenerations(t *testing.T) {
+	// Each generation spawns the next; every thread must run and exit,
+	// and the run must stay deterministic across repetitions.
+	clock := func(seed int64) int64 {
+		s := New(testConfig())
+		total := 0
+		var gen func(depth int) func(*Thread)
+		gen = func(depth int) func(*Thread) {
+			return func(th *Thread) {
+				total++
+				th.Work(1_000)
+				if depth < 4 {
+					s.SpawnFrom(th, "g", gen(depth+1))
+					s.SpawnFrom(th, "g", gen(depth+1))
+				}
+				th.Work(1_000)
+			}
+		}
+		s.Spawn("g0", gen(0))
+		mustRun(t, s)
+		if total != 31 { // 1+2+4+8+16
+			t.Fatalf("ran %d threads, want 31", total)
+		}
+		return s.Clock()
+	}
+	if a, b := clock(1), clock(1); a != b {
+		t.Fatalf("mid-run spawning broke determinism: clocks %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+// The built-in scenario suite: the adversarial workload shapes the
+// related work (Hyaline, Crystalline) argues reclamation schemes must
+// be judged on.  Every scenario is structure- and scheme-agnostic (DS
+// and Scheme are left empty for the runner or suite to fill), sized for
+// laptop-fast quick runs, and stretchable with Scenario.Scale.
+//
+// Durations are virtual cycles at the default 1 GHz clock (1e6 = 1 ms);
+// key ranges are powers of two so the skewed distributions' index
+// scrambling stays a bijection.
+
+// quickBase returns the shared quick-scale skeleton.
+func quickBase(name, desc string) Scenario {
+	return Scenario{
+		Name:       name,
+		Desc:       desc,
+		Threads:    8,
+		Cores:      8,
+		KeyRange:   1024,
+		Prefill:    512,
+		Seed:       1,
+		BufferSize: 128,
+		Batch:      128,
+		Quantum:    125_000,
+	}
+}
+
+// Builtins returns the named scenario suite, in presentation order.
+func Builtins() []Scenario {
+	uniform := Mix{InsertPct: 10, RemovePct: 10}
+	heavy := Mix{InsertPct: 15, RemovePct: 15}
+
+	baseline := quickBase("uniform-baseline",
+		"the paper's §6 shape: uniform keys, 20% updates, one phase")
+	baseline.Phases = []Phase{{Name: "steady", Duration: 4_000_000, Mix: uniform}}
+
+	zipf := quickBase("zipfian-skew",
+		"Zipf-distributed keys: a few hot nodes absorb most updates and are retired over and over")
+	zipf.Phases = []Phase{{
+		Name: "skewed", Duration: 4_000_000, Mix: heavy,
+		Dist: Dist{Kind: DistZipf, Theta: 1.3},
+	}}
+
+	hotspot := quickBase("hotspot-90-10",
+		"90% of operations hit 10% of the key space")
+	hotspot.Phases = []Phase{{
+		Name: "hot", Duration: 4_000_000, Mix: heavy,
+		Dist: Dist{Kind: DistHotspot, HotPct: 90, HotFrac: 0.1},
+	}}
+
+	window := quickBase("shifting-window",
+		"a working-set window slides across the key space: nodes die behind it, are born ahead of it")
+	window.Phases = []Phase{{
+		Name: "slide", Duration: 4_000_000,
+		Mix:  Mix{InsertPct: 25, RemovePct: 25},
+		Dist: Dist{Kind: DistWindow, WindowFrac: 0.125, Sweeps: 2},
+	}}
+
+	storm := quickBase("delete-storm",
+		"phased: build up, then a remove-dominated storm floods the delete buffers, then recover")
+	storm.Phases = []Phase{
+		{Name: "build", Duration: 1_500_000, Mix: Mix{InsertPct: 70, RemovePct: 5}},
+		{Name: "storm", Duration: 2_000_000, Mix: Mix{InsertPct: 5, RemovePct: 75}},
+		{Name: "recover", Duration: 1_500_000, Mix: uniform},
+	}
+
+	burst := quickBase("retire-burst",
+		"alternating insert-heavy and remove-heavy phases produce bursty retirement")
+	burst.Phases = []Phase{
+		{Name: "fill1", Duration: 1_000_000, Mix: Mix{InsertPct: 60, RemovePct: 10}},
+		{Name: "drain1", Duration: 1_000_000, Mix: Mix{InsertPct: 10, RemovePct: 60}},
+		{Name: "fill2", Duration: 1_000_000, Mix: Mix{InsertPct: 60, RemovePct: 10}},
+		{Name: "drain2", Duration: 1_000_000, Mix: Mix{InsertPct: 10, RemovePct: 60}},
+	}
+
+	churn := quickBase("thread-churn",
+		"workers exit and fresh threads spawn mid-run, stressing registration and signal delivery")
+	churn.Threads = 6
+	churn.Cores = 6
+	churn.Phases = []Phase{{Name: "churny", Duration: 5_000_000, Mix: heavy}}
+	churn.Churn = &Churn{Workers: 3, Generations: 3}
+
+	over := quickBase("oversubscribed",
+		"3x more threads than cores: descheduled threads delay every scan (the Figure 4 regime)")
+	over.Threads = 24
+	over.Cores = 8
+	over.Phases = []Phase{{Name: "crowded", Duration: 5_000_000, Mix: uniform}}
+
+	overChurn := quickBase("oversubscribed-churn",
+		"oversubscription plus mid-run thread turnover: churn while signals already lag")
+	overChurn.Threads = 16
+	overChurn.Cores = 4
+	overChurn.Phases = []Phase{{Name: "crowded-churn", Duration: 5_000_000, Mix: heavy}}
+	overChurn.Churn = &Churn{Workers: 2, Generations: 3}
+
+	return []Scenario{
+		baseline, zipf, hotspot, window, storm, burst, churn, over, overChurn,
+	}
+}
+
+// ByName returns the named built-in scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the built-in scenario names, in presentation order.
+func Names() []string {
+	b := Builtins()
+	out := make([]string, len(b))
+	for i := range b {
+		out[i] = b[i].Name
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+
+	"threadscan/internal/ds"
+	"threadscan/internal/simt"
+)
+
+// Op is one abstract operation kind.  Sets map them to
+// Insert/Remove/Contains; stacks and queues map them to
+// Push/Pop/Peek — so one scenario description drives any structure.
+type Op uint8
+
+const (
+	// OpLookup is a read-only operation (Contains / Peek).
+	OpLookup Op = iota
+	// OpInsert adds an element (Insert / Push / Enqueue).
+	OpInsert
+	// OpRemove deletes an element (Remove / Pop / Dequeue) — the only
+	// operation that retires memory.
+	OpRemove
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Target is the op surface the engine drives: any structure adapted to
+// the three abstract operations.  Size is a host-side walk and must
+// only be called while the simulation is quiescent.
+type Target interface {
+	Name() string
+	Apply(th *simt.Thread, op Op, key uint64) bool
+	Size() int
+}
+
+// TargetFor adapts a data structure to the Target interface.
+func TargetFor(s any) (Target, error) {
+	switch v := s.(type) {
+	case *ds.List:
+		return setTarget{v, v.Len}, nil
+	case *ds.HashTable:
+		return setTarget{v, v.Len}, nil
+	case *ds.SkipList:
+		return setTarget{v, v.Len}, nil
+	case *ds.Stack:
+		return stackTarget{v}, nil
+	case *ds.Queue:
+		return queueTarget{v}, nil
+	default:
+		return nil, fmt.Errorf("workload: no Target adapter for %T", s)
+	}
+}
+
+type setTarget struct {
+	set ds.Set
+	len func() int
+}
+
+func (t setTarget) Name() string { return t.set.Name() }
+func (t setTarget) Size() int    { return t.len() }
+func (t setTarget) Apply(th *simt.Thread, op Op, key uint64) bool {
+	switch op {
+	case OpInsert:
+		return t.set.Insert(th, key)
+	case OpRemove:
+		return t.set.Remove(th, key)
+	default:
+		return t.set.Contains(th, key)
+	}
+}
+
+type stackTarget struct{ s *ds.Stack }
+
+func (t stackTarget) Name() string { return t.s.Name() }
+func (t stackTarget) Size() int    { return t.s.Len() }
+func (t stackTarget) Apply(th *simt.Thread, op Op, key uint64) bool {
+	switch op {
+	case OpInsert:
+		t.s.Push(th, key)
+		return true
+	case OpRemove:
+		_, ok := t.s.Pop(th)
+		return ok
+	default:
+		_, ok := t.s.Peek(th)
+		return ok
+	}
+}
+
+type queueTarget struct{ q *ds.Queue }
+
+func (t queueTarget) Name() string { return t.q.Name() }
+func (t queueTarget) Size() int    { return t.q.Len() }
+func (t queueTarget) Apply(th *simt.Thread, op Op, key uint64) bool {
+	switch op {
+	case OpInsert:
+		t.q.Enqueue(th, key)
+		return true
+	case OpRemove:
+		_, ok := t.q.Dequeue(th)
+		return ok
+	default:
+		_, ok := t.q.Peek(th)
+		return ok
+	}
+}

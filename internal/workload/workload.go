@@ -1,0 +1,217 @@
+// Package workload is the declarative scenario layer of the evaluation:
+// composable descriptions of *how* a data structure is exercised,
+// replacing the harness's single hard-coded op loop (uniform keys,
+// fixed 20% updates) with the workload diversity the paper's claims are
+// actually about.
+//
+// A Scenario names a structure and scheme, a thread/core geometry, and
+// a sequence of Phases; each phase fixes an operation Mix and a key
+// Dist for a virtual-time window, so op mixes can shift mid-run
+// (read-heavy → delete-storm → read-heavy).  An optional Churn spec
+// adds workers that spawn and exit mid-run — exercising the
+// registration hooks and signal-delivery protocol far harder than the
+// paper's static thread set.  Scenarios are pure descriptions; the
+// engine that executes them lives in internal/harness (RunScenario),
+// which also samples the Hyaline-style memory-robustness metric
+// (retired-but-unreclaimed words over time) every scenario reports
+// next to throughput.
+//
+// The motivation is the related work's critique: Hyaline and
+// Crystalline argue reclamation schemes must be judged on unreclaimed-
+// garbage bounds under adversarial workloads, not just throughput under
+// a friendly one.  The built-in suite (Builtins) encodes exactly those
+// adversaries: skew, delete storms, retirement bursts, thread churn,
+// and oversubscription.
+package workload
+
+import "fmt"
+
+// Mix is an operation mix: percentages of inserts (pushes) and removes
+// (pops); the remainder are lookups (peeks).
+type Mix struct {
+	InsertPct int
+	RemovePct int
+}
+
+// Pick maps a uniform draw r in [0,100) to an operation.
+func (m Mix) Pick(r int) Op {
+	switch {
+	case r < m.InsertPct:
+		return OpInsert
+	case r < m.InsertPct+m.RemovePct:
+		return OpRemove
+	default:
+		return OpLookup
+	}
+}
+
+func (m Mix) validate() error {
+	if m.InsertPct < 0 || m.RemovePct < 0 || m.InsertPct+m.RemovePct > 100 {
+		return fmt.Errorf("workload: bad mix %+v", m)
+	}
+	return nil
+}
+
+// Phase is one window of a scenario: a duration in virtual cycles
+// during which every worker draws keys from Dist and operations from
+// Mix.  Workers cross phase boundaries at the same absolute virtual
+// times (relative to the measured start), so a "delete storm" really is
+// a storm — all threads storm together.
+type Phase struct {
+	Name     string
+	Duration int64 // virtual cycles
+	Mix      Mix
+	Dist     Dist
+}
+
+// Churn describes mid-run thread turnover: Generations waves of Workers
+// fresh threads each, spawned while the run is in flight and exiting
+// before it ends.  Generation g (0-based) starts at (g+1)*Stagger into
+// the measured window and lives for Life cycles; the zero values derive
+// both from the total duration so the last generation exits before the
+// persistent workers stop.
+type Churn struct {
+	Workers     int   // threads per generation (default 2)
+	Generations int   // waves (default 2)
+	Stagger     int64 // cycles between generation starts (0 = derived)
+	Life        int64 // per-worker lifetime in cycles (0 = derived)
+}
+
+func (c *Churn) fill(total int64) {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Generations <= 0 {
+		c.Generations = 2
+	}
+	if c.Stagger <= 0 {
+		c.Stagger = total / int64(c.Generations+2)
+	}
+	if c.Life <= 0 {
+		c.Life = c.Stagger
+	}
+}
+
+// Start returns the spawn offset of generation g from the measured
+// start.
+func (c *Churn) Start(g int) int64 { return int64(g+1) * c.Stagger }
+
+// TotalWorkers returns the number of churn threads the scenario spawns.
+func (c *Churn) TotalWorkers() int { return c.Workers * c.Generations }
+
+// Scenario is one complete declarative workload description.
+type Scenario struct {
+	Name string
+	Desc string
+
+	DS     string // list | hash | skiplist | stack | queue
+	Scheme string // leaky | hazard | epoch | slow-epoch | threadscan | stacktrack
+
+	Threads int // persistent workers
+	Cores   int // virtual cores (Threads > Cores = oversubscription)
+
+	KeyRange uint64
+	Prefill  int // initial population (elements for stack/queue)
+
+	Phases []Phase
+	Churn  *Churn // nil = static thread set
+
+	Seed int64
+
+	// Structure / scheme parameters (0 = harness defaults).
+	NodeBytes  int
+	Buckets    int
+	BufferSize int
+	Batch      int
+
+	// Simulator knobs (0 = defaults).
+	Quantum     int64
+	HeapWords   int
+	SampleEvery int64 // footprint sampling interval (0 = duration/64)
+}
+
+// TotalDuration is the measured window: the sum of phase durations.
+func (s *Scenario) TotalDuration() int64 {
+	var d int64
+	for _, p := range s.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// Fill applies defaults in place and validates the scenario.
+func (s *Scenario) Fill() error {
+	if s.Name == "" {
+		s.Name = "unnamed"
+	}
+	if s.DS == "" {
+		s.DS = "list"
+	}
+	if s.Scheme == "" {
+		s.Scheme = "threadscan"
+	}
+	if s.Threads <= 0 {
+		s.Threads = 4
+	}
+	if s.Cores <= 0 {
+		s.Cores = s.Threads
+	}
+	if s.KeyRange == 0 {
+		s.KeyRange = 1024
+	}
+	if s.Prefill == 0 {
+		s.Prefill = int(s.KeyRange / 2)
+	}
+	if len(s.Phases) == 0 {
+		s.Phases = []Phase{{Name: "steady", Mix: Mix{InsertPct: 10, RemovePct: 10}}}
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Duration <= 0 {
+			p.Duration = 4_000_000 // 4 virtual ms
+		}
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("phase%d", i)
+		}
+		if err := p.Mix.validate(); err != nil {
+			return fmt.Errorf("%s/%s: %w", s.Name, p.Name, err)
+		}
+		p.Dist.fill()
+	}
+	if s.Churn != nil {
+		s.Churn.fill(s.TotalDuration())
+		if s.Churn.Start(s.Churn.Generations-1)+s.Churn.Life > s.TotalDuration() {
+			return fmt.Errorf("workload: %s: churn generation %d outlives the run",
+				s.Name, s.Churn.Generations-1)
+		}
+	}
+	if s.SampleEvery <= 0 {
+		s.SampleEvery = s.TotalDuration() / 64
+		if s.SampleEvery < 1 {
+			s.SampleEvery = 1
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every duration-like knob by f (phase durations,
+// churn stagger/life, sampling interval), returning the scaled copy.
+// Use it to stretch the quick-scale builtins toward paper-length runs.
+func (s Scenario) Scale(f float64) Scenario {
+	phases := make([]Phase, len(s.Phases))
+	copy(phases, s.Phases)
+	for i := range phases {
+		phases[i].Duration = int64(float64(phases[i].Duration) * f)
+	}
+	s.Phases = phases
+	if s.Churn != nil {
+		c := *s.Churn
+		c.Stagger = int64(float64(c.Stagger) * f)
+		c.Life = int64(float64(c.Life) * f)
+		s.Churn = &c
+	}
+	if s.SampleEvery > 0 {
+		s.SampleEvery = int64(float64(s.SampleEvery) * f)
+	}
+	return s
+}

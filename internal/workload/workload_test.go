@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadscan/internal/ds"
+)
+
+func TestMixPick(t *testing.T) {
+	m := Mix{InsertPct: 10, RemovePct: 20}
+	counts := map[Op]int{}
+	for r := 0; r < 100; r++ {
+		counts[m.Pick(r)]++
+	}
+	if counts[OpInsert] != 10 || counts[OpRemove] != 20 || counts[OpLookup] != 70 {
+		t.Fatalf("mix partition: %v", counts)
+	}
+}
+
+func TestScenarioFillValidates(t *testing.T) {
+	s := Scenario{}
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalDuration() <= 0 || len(s.Phases) == 0 || s.SampleEvery <= 0 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	bad := Scenario{Phases: []Phase{{Mix: Mix{InsertPct: 80, RemovePct: 40}}}}
+	if err := bad.Fill(); err == nil {
+		t.Fatal("mix over 100% accepted")
+	}
+	late := Scenario{
+		Phases: []Phase{{Duration: 1000}},
+		Churn:  &Churn{Workers: 1, Generations: 2, Stagger: 800, Life: 800},
+	}
+	if err := late.Fill(); err == nil {
+		t.Fatal("churn outliving the run accepted")
+	}
+}
+
+func keyStats(t *testing.T, d Dist, n uint64, draws int) map[uint64]int {
+	t.Helper()
+	g := NewKeyGen(d, n, rand.New(rand.NewSource(7)))
+	counts := map[uint64]int{}
+	for i := 0; i < draws; i++ {
+		k := g.Key(float64(i) / float64(draws))
+		if k < ds.MinKey || k >= ds.MinKey+n {
+			t.Fatalf("key %d out of range [%d,%d)", k, ds.MinKey, ds.MinKey+n)
+		}
+		counts[k]++
+	}
+	return counts
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	counts := keyStats(t, Dist{}, 256, 20_000)
+	if len(counts) < 250 {
+		t.Fatalf("uniform hit only %d of 256 keys", len(counts))
+	}
+}
+
+func TestZipfConcentrates(t *testing.T) {
+	const n, draws = 1024, 20_000
+	counts := keyStats(t, Dist{Kind: DistZipf, Theta: 1.3}, n, draws)
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Under theta=1.3 the hottest key takes a large constant fraction;
+	// under uniform it would get ~draws/n ≈ 20.
+	if max < draws/10 {
+		t.Fatalf("zipf hottest key only %d of %d draws", max, draws)
+	}
+}
+
+func TestHotspotRespectsSplit(t *testing.T) {
+	const n, draws = 1024, 40_000
+	d := Dist{Kind: DistHotspot, HotPct: 90, HotFrac: 0.1}
+	counts := keyStats(t, d, n, draws)
+	// The hot set is the scrambled image of indices [0, n/10).
+	hot := map[uint64]bool{}
+	for i := uint64(0); i < n/10; i++ {
+		hot[ds.MinKey+scramble(i, n)] = true
+	}
+	hotDraws := 0
+	for k, c := range counts {
+		if hot[k] {
+			hotDraws += c
+		}
+	}
+	frac := float64(hotDraws) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction %.3f, want ~0.90", frac)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	const n = 1024
+	d := Dist{Kind: DistWindow, WindowFrac: 0.125, Sweeps: 1}
+	g := NewKeyGen(d, n, rand.New(rand.NewSource(3)))
+	early, late := map[uint64]bool{}, map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		early[g.Key(0.0)] = true
+		late[g.Key(0.5)] = true
+	}
+	for k := range early {
+		if late[k] {
+			t.Fatalf("windows at frac 0.0 and 0.5 overlap at key %d", k)
+		}
+	}
+	if len(early) > n/8+1 || len(late) > n/8+1 {
+		t.Fatalf("window wider than WindowFrac: %d / %d keys", len(early), len(late))
+	}
+}
+
+func TestScrambleBijectiveOnPow2(t *testing.T) {
+	const n = 512
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < n; i++ {
+		seen[scramble(i, n)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("scramble collides on power-of-two range: %d of %d", len(seen), n)
+	}
+}
+
+func TestBuiltinsCoverRequiredShapes(t *testing.T) {
+	b := Builtins()
+	if len(b) < 6 {
+		t.Fatalf("only %d built-in scenarios", len(b))
+	}
+	names := map[string]bool{}
+	oversub := 0
+	for i := range b {
+		s := b[i]
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if err := s.Fill(); err != nil {
+			t.Fatalf("builtin %s invalid: %v", s.Name, err)
+		}
+		if s.Threads > s.Cores {
+			oversub++
+		}
+	}
+	for _, want := range []string{"zipfian-skew", "delete-storm", "thread-churn"} {
+		if !names[want] {
+			t.Fatalf("missing required scenario %q", want)
+		}
+	}
+	if oversub < 2 {
+		t.Fatalf("want >=2 oversubscribed variants, got %d", oversub)
+	}
+	if s, ok := ByName("thread-churn"); !ok || s.Churn == nil {
+		t.Fatal("thread-churn must carry a churn spec")
+	}
+	if len(Names()) != len(b) {
+		t.Fatal("Names()/Builtins() disagree")
+	}
+}
+
+func TestTraceDigestOrderSensitive(t *testing.T) {
+	a, b := NewTrace(), NewTrace()
+	a.Record(OpInsert, 5, true)
+	a.Record(OpRemove, 5, true)
+	b.Record(OpRemove, 5, true)
+	b.Record(OpInsert, 5, true)
+	if a.Sum() == b.Sum() {
+		t.Fatal("trace digest ignores op order")
+	}
+	if a.Ops() != 2 {
+		t.Fatalf("ops = %d", a.Ops())
+	}
+	if CombineTraces([]uint64{a.Sum(), b.Sum()}) == CombineTraces([]uint64{b.Sum(), a.Sum()}) {
+		t.Fatal("combined digest ignores worker order")
+	}
+}
+
+func TestScaleStretchesDurations(t *testing.T) {
+	s, _ := ByName("thread-churn")
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	d0, st0 := s.TotalDuration(), s.Churn.Stagger
+	scaled := s.Scale(2)
+	if scaled.TotalDuration() != 2*d0 || scaled.Churn.Stagger != 2*st0 {
+		t.Fatalf("scale: %d->%d, stagger %d->%d", d0, scaled.TotalDuration(), st0, scaled.Churn.Stagger)
+	}
+	if s.TotalDuration() != d0 {
+		t.Fatal("Scale mutated the original")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"threadscan/internal/reclaim"
 	"threadscan/internal/simmem"
 	"threadscan/internal/simt"
+	"threadscan/internal/workload"
 )
 
 // Simulation substrate.
@@ -138,7 +139,8 @@ func NewSlowEpoch(sim *Sim, batch int, delayCycles int64) Scheme {
 // baseline (extension; see DESIGN.md S11).
 func NewStackTrack(sim *Sim, cfg StackTrackConfig) Scheme { return reclaim.NewStackTrack(sim, cfg) }
 
-// Benchmark data structures (the paper's §6 workloads).
+// Benchmark data structures (the paper's §6 workloads, plus the
+// LIFO/FIFO structures the scenario suite adds).
 type (
 	// Set is the common concurrent-set interface.
 	Set = ds.Set
@@ -148,6 +150,11 @@ type (
 	HashTable = ds.HashTable
 	// SkipList is the lock-based lazy skip list.
 	SkipList = ds.SkipList
+	// Stack is the Treiber lock-free stack (LIFO retirement pattern).
+	Stack = ds.Stack
+	// Queue is the Michael–Scott lock-free queue (FIFO retirement
+	// pattern).
+	Queue = ds.Queue
 )
 
 // Key bounds usable by the data structures (extremes are sentinels).
@@ -175,6 +182,18 @@ func NewHashTable(sim *Sim, scheme Scheme, nBuckets, nodeBytes int) *HashTable {
 // NewSkipList creates a lock-based lazy skip list.
 func NewSkipList(sim *Sim, scheme Scheme) *SkipList {
 	return ds.NewSkipList(sim, scheme)
+}
+
+// NewStack creates an empty Treiber stack.  nodeBytes of 0 selects
+// cache-line-sized (64-byte) nodes.
+func NewStack(sim *Sim, scheme Scheme, nodeBytes int) *Stack {
+	return ds.NewStack(sim, scheme, nodeBytes)
+}
+
+// NewQueue creates an empty Michael–Scott queue.  nodeBytes of 0
+// selects cache-line-sized (64-byte) nodes.
+func NewQueue(sim *Sim, scheme Scheme, nodeBytes int) *Queue {
+	return ds.NewQueue(sim, scheme, nodeBytes)
 }
 
 // Evaluation harness (regenerates the paper's figures).
@@ -205,3 +224,63 @@ func RunFig3(dsName string, p SweepParams) (Figure, error) { return harness.RunF
 // RunFig4 reproduces one panel of the paper's Figure 4 (the
 // oversubscribed system).
 func RunFig4(dsName string, p SweepParams) (Figure, error) { return harness.RunFig4(dsName, p) }
+
+// Declarative workload scenarios (internal/workload + the harness's
+// scenario engine): phased op mixes, skewed key distributions, mid-run
+// thread churn, and the memory-footprint telemetry every scenario
+// reports next to throughput.
+type (
+	// Scenario is one declarative workload description.
+	Scenario = workload.Scenario
+	// ScenarioPhase is one mix+distribution window of a scenario.
+	ScenarioPhase = workload.Phase
+	// OpMix is an operation mix (insert/remove percentages).
+	OpMix = workload.Mix
+	// KeyDist describes a key distribution (uniform, zipf, hotspot,
+	// sliding window).
+	KeyDist = workload.Dist
+	// ChurnSpec describes mid-run thread turnover.
+	ChurnSpec = workload.Churn
+	// WorkloadOp is an abstract operation kind (lookup/insert/remove).
+	WorkloadOp = workload.Op
+	// WorkloadTarget adapts any structure to the scenario engine.
+	WorkloadTarget = workload.Target
+	// ScenarioResult is one scenario outcome: throughput, op-trace
+	// digest, and footprint telemetry.
+	ScenarioResult = harness.ScenarioResult
+	// Footprint is the sampled memory-robustness time series.
+	Footprint = harness.Footprint
+	// FootprintSample is one point of that series.
+	FootprintSample = harness.FootprintSample
+)
+
+// Key distribution kinds.
+const (
+	DistUniform = workload.DistUniform
+	DistZipf    = workload.DistZipf
+	DistHotspot = workload.DistHotspot
+	DistWindow  = workload.DistWindow
+)
+
+// Abstract operation kinds.
+const (
+	OpLookup = workload.OpLookup
+	OpInsert = workload.OpInsert
+	OpRemove = workload.OpRemove
+)
+
+// BuiltinScenarios returns the named scenario suite (zipfian-skew,
+// delete-storm, thread-churn, oversubscribed variants, ...).
+func BuiltinScenarios() []Scenario { return workload.Builtins() }
+
+// ScenarioByName returns the named built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) { return workload.ByName(name) }
+
+// RunScenario executes one scenario and returns its result.
+func RunScenario(s Scenario) (ScenarioResult, error) { return harness.RunScenario(s) }
+
+// WorkloadTargetFor adapts a structure built from this package's
+// constructors to the scenario engine's op surface.
+func WorkloadTargetFor(structure any) (WorkloadTarget, error) {
+	return workload.TargetFor(structure)
+}
