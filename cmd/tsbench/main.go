@@ -1,9 +1,9 @@
 // Command tsbench regenerates the paper's evaluation — both figure
 // families (Figure 3: throughput scaling; Figure 4: oversubscription)
 // and the ablations documented in DESIGN.md (A1 buffer size, A2 scan
-// cost, A3 scan lookup, A4 errant thread) — and runs the declarative
-// scenario suite (skew, delete storms, thread churn, oversubscription)
-// with memory-footprint telemetry.
+// cost, A3 scan lookup, A4 errant thread, A5 sharded collect) — and
+// runs the declarative scenario suite (skew, delete storms, thread
+// churn, oversubscription) with memory-footprint telemetry.
 //
 // Examples:
 //
@@ -36,7 +36,7 @@ func main() {
 	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
-		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall")
+		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards")
 		single   = flag.Bool("single", false, "run a single experiment and dump its stats")
 		dsName   = flag.String("ds", "all", "data structure: list | hash | skiplist | all")
 		scheme   = flag.String("scheme", "threadscan", "scheme for -single")
@@ -50,6 +50,8 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write figure results as CSV to this file")
 		buffer   = flag.Int("buffer", 0, "per-thread delete buffer for -single (0 = 1024)")
 		batch    = flag.Int("batch", 0, "reclaim batch for -single (0 = 1024)")
+		ablScen  = flag.String("ablation-scenario", "", "scenario for -ablation shards (default zipfian-skew)")
+		shardKs  = flag.String("shard-counts", "", "comma-separated K values for -ablation shards (default 1,2,4,8,16)")
 	)
 	flag.Parse()
 
@@ -62,14 +64,18 @@ func main() {
 		CacheSim: *cacheSim,
 	}
 	if *threads != "" && !*single {
-		params.ThreadCounts = parseInts(*threads)
+		params.ThreadCounts = parseInts(*threads, "thread count")
 	}
 
 	switch {
 	case *single:
 		runSingle(*dsName, *scheme, *threads, params, *buffer, *batch)
 	case *ablation != "":
-		runAblation(*ablation, params)
+		var ks []int
+		if *shardKs != "" {
+			ks = parseInts(*shardKs, "shard count")
+		}
+		runAblation(*ablation, params, *ablScen, ks)
 	case *figNum == 3 || *figNum == 4:
 		runFigure(*figNum, *dsName, params, *csvPath)
 	default:
@@ -95,12 +101,12 @@ func parseScale(s string) harness.Scale {
 	}
 }
 
-func parseInts(s string) []int {
+func parseInts(s, what string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatal(fmt.Errorf("bad thread count %q", part))
+			fatal(fmt.Errorf("bad %s %q", what, part))
 		}
 		out = append(out, n)
 	}
@@ -152,7 +158,7 @@ func runFigure(fig int, dsArg string, params harness.SweepParams, csvPath string
 	}
 }
 
-func runAblation(kind string, params harness.SweepParams) {
+func runAblation(kind string, params harness.SweepParams, ablScenario string, shardKs []int) {
 	switch kind {
 	case "buffer":
 		rows, err := harness.AblationBuffer(nil, params, 0)
@@ -189,6 +195,14 @@ func runAblation(kind string, params harness.SweepParams) {
 		if err := harness.WriteStallTable(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
+	case "shards":
+		rows, err := harness.AblationShards(ablScenario, shardKs, params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteShardTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", kind))
 	}
@@ -197,7 +211,7 @@ func runAblation(kind string, params harness.SweepParams) {
 func runSingle(dsArg, scheme, threadsArg string, params harness.SweepParams, buffer, batch int) {
 	n := 4
 	if threadsArg != "" {
-		n = parseInts(threadsArg)[0]
+		n = parseInts(threadsArg, "thread count")[0]
 	}
 	for _, name := range dsNames(dsArg) {
 		cfg := harness.Config{

@@ -27,6 +27,9 @@ func runScenarios(args []string) {
 		schemes  = fs.String("schemes", "leaky,epoch,threadscan", "comma-separated schemes to cross")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		scale    = fs.Float64("scale", 1, "stretch factor for all scenario durations")
+		shards   = fs.Int("shards", 0, "threadscan collect shards K (0 = scenario default / serial)")
+		wmark    = fs.Int("watermark", 0, "threadscan global collect watermark (0 = scenario default / off)")
+		helpFree = fs.Bool("helpfree", false, "enable threadscan's scanner-assisted sweep (help protocol)")
 		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
 		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
@@ -69,16 +72,32 @@ func runScenarios(args []string) {
 				spec.DS = strings.TrimSpace(dsName)
 				spec.Scheme = strings.TrimSpace(scheme)
 				spec.Seed = *seed
+				if *shards > 0 {
+					spec.Shards = *shards
+				}
+				if *wmark > 0 {
+					spec.Watermark = *wmark
+				}
+				if *helpFree {
+					spec.HelpFree = true
+				}
 				r, err := harness.RunScenario(spec)
 				if err != nil {
 					fatal(err)
+				}
+				if r.AccountingError != "" {
+					fmt.Fprintf(os.Stderr, "! %s %s/%s: %s\n", r.Name, r.DS, r.Scheme, r.AccountingError)
 				}
 				if !*samples {
 					r.Footprint.Samples = nil
 				}
 				results = append(results, r)
-				fmt.Fprintf(os.Stderr, "· %-20s %-8s %-10s %8.0f ops/vsec  peak-garbage %d words\n",
+				line := fmt.Sprintf("· %-20s %-8s %-10s %8.0f ops/vsec  peak-garbage %d words",
 					r.Name, r.DS, r.Scheme, r.Throughput, r.Footprint.PeakRetiredWords)
+				if r.Core != nil {
+					line += fmt.Sprintf("  collect %d cyc", r.Core.CollectCycles)
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 	}
@@ -107,12 +126,17 @@ func runScenarios(args []string) {
 // garbage per scenario x structure x scheme.
 func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned")
+	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%.0f\t%d\t%d\t%d\t%d\n",
+		collectCyc, dblRetires := int64(0), uint64(0)
+		if r.Core != nil {
+			collectCyc = r.Core.CollectCycles
+			dblRetires = r.Core.DoubleRetires
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, r.Ops, r.Throughput,
 			r.Footprint.PeakRetiredNodes, r.Footprint.PeakRetiredWords,
-			r.Footprint.FinalRetiredNodes, r.ChurnWorkers)
+			r.Footprint.FinalRetiredNodes, r.ChurnWorkers, collectCyc, dblRetires)
 	}
 	tw.Flush()
 }

@@ -20,14 +20,23 @@
 //     re-buffered for the next phase.
 //
 // The §4.3 extension (AddHeapBlock/RemoveHeapBlock) lets a thread
-// register private heap regions to be scanned along with its stack, and
-// the §7 future-work idea — sharing free() work with scanners — is
-// implemented behind Config.HelpFree for ablation.
+// register private heap regions to be scanned along with its stack.
+//
+// Beyond the paper, TS-Collect scales out as a sharded, scanner-assisted
+// pipeline: Config.Shards splits the master buffer into K address-sharded
+// sub-buffers (see shard.go) that are sorted and swept as independently
+// claimable units, Config.CollectWatermark adds an adaptive global
+// trigger so a collect can start before any single ring fills, and the
+// §7 future-work idea — sharing reclamation work with scanners — grows
+// from the original HelpFree chunk queue into a general help protocol:
+// scanners claim whole shards to sort before scanning, and (under
+// HelpFree) claim whole per-shard free lists to sweep.  With Shards <= 1
+// and the watermark off, the protocol is bit-identical in virtual-cycle
+// charges to the paper's serial collect.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"threadscan/internal/simt"
 )
@@ -78,13 +87,28 @@ type Config struct {
 	// Lookup selects the scan membership structure (ablation A3).
 	Lookup LookupKind
 
+	// Shards is K, the number of address-sharded master sub-buffers the
+	// collect pipeline uses (rounded up to a power of two).  1 (the
+	// default) reproduces the paper's single serial master buffer
+	// exactly; larger K shrinks per-probe search depth and lets
+	// scanners claim shards to sort inside their handlers.
+	Shards int
+
+	// CollectWatermark, when positive, triggers a collect as soon as
+	// the *global* buffered count (all rings plus orphans) reaches the
+	// watermark, instead of only when one thread's own ring fills.
+	// Under skewed retirement this spreads reclaimer duty across
+	// threads; 0 (the default) disables the trigger.
+	CollectWatermark int
+
 	// HelpFree enables the paper's §7 future-work extension: unmarked
-	// nodes are queued and freed in chunks by the *next* phase's
-	// scanners instead of all by the reclaimer, trading reclaimer
-	// latency for handler work.
+	// nodes are queued and freed by the *next* phase's scanners instead
+	// of all by the reclaimer, trading reclaimer latency for handler
+	// work.  With Shards <= 1 scanners drain chunks of one queue; with
+	// sharding they claim per-shard lists, chunk-bounded the same way.
 	HelpFree bool
 
-	// HelpFreeChunk is how many queued nodes one scanner frees per
+	// HelpFreeChunk caps how many queued nodes one scanner frees per
 	// TS-Scan when HelpFree is on.  Defaults to 128.
 	HelpFreeChunk int
 }
@@ -95,6 +119,9 @@ func (c *Config) fill() {
 	}
 	if c.HelpFreeChunk <= 0 {
 		c.HelpFreeChunk = 128
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 }
 
@@ -109,8 +136,15 @@ type Stats struct {
 	ScannedThreads  uint64 // TS-Scan executions (incl. reclaimer's own)
 	HelpFreed       uint64 // nodes freed by scanners (HelpFree mode)
 	MaxMaster       int    // largest master buffer seen
-	HandlerCycles   int64  // virtual cycles spent inside scan handlers
-	CollectCycles   int64  // virtual cycles spent inside TS-Collect
+
+	DoubleRetires     uint64 // duplicate retires of one address absorbed by dedup
+	WatermarkCollects uint64 // collects triggered by the global watermark
+	ShardsSorted      uint64 // shard prepare passes (== Collects when K == 1)
+	HelpSortedShards  uint64 // shards prepared by scanners, not the reclaimer
+	HelpSweptShards   uint64 // per-shard free lists claimed by scanners
+
+	HandlerCycles int64 // virtual cycles spent inside scan handlers
+	CollectCycles int64 // virtual cycles spent inside TS-Collect
 }
 
 // ThreadScan is one reclamation domain shared by all threads of a
@@ -126,15 +160,29 @@ type ThreadScan struct {
 	registered []bool
 
 	// Collect state (valid while lock is held).
-	master   []uint64
-	marks    []bool
-	hashSet  map[uint64]int
-	acksGot  int
-	acksNeed int
+	shards      *shardSet
+	scratch     []uint64 // ring-drain staging
+	acksGot     int
+	acksNeed    int
+	reclaimerID int // thread driving the current collect (help attribution)
 
-	orphans     []uint64 // buffered nodes of exited threads
-	pendingFree []uint64 // HelpFree: unmarked nodes awaiting the next phase
-	helpQueue   []uint64 // HelpFree: queue scanners drain during this phase
+	// ringCount approximates the number of nodes buffered since the
+	// last collect began (fresh retirement pressure) for the watermark
+	// trigger; a real implementation would keep it in a relaxed atomic.
+	// Remarked re-buffers deliberately do not count: nodes pinned by
+	// live references would otherwise hold the count above the
+	// watermark and turn every subsequent Free into a futile collect.
+	ringCount int
+
+	orphans []uint64 // buffered nodes of exited threads
+
+	// HelpFree state.  pendingFree/helpQueue is the classic single
+	// chunked queue (Shards <= 1); pendingShards/helpShards hold whole
+	// per-shard free lists scanners claim under the sharded pipeline.
+	pendingFree   []uint64
+	helpQueue     []uint64
+	pendingShards [][]uint64
+	helpShards    [][]uint64
 
 	stats Stats
 }
@@ -149,7 +197,12 @@ type tsThread struct {
 // Call before sim.Run.
 func New(sim *simt.Sim, cfg Config) *ThreadScan {
 	cfg.fill()
-	ts := &ThreadScan{sim: sim, cfg: cfg, lock: sim.NewMutex("threadscan.reclaim")}
+	ts := &ThreadScan{
+		sim:    sim,
+		cfg:    cfg,
+		lock:   sim.NewMutex("threadscan.reclaim"),
+		shards: newShardSet(cfg.Shards),
+	}
 	sim.SetSignalHandler(cfg.Signal, ts.scanHandler)
 	sim.OnThreadStart(ts.threadStart)
 	sim.OnThreadExit(ts.threadExit)
@@ -161,6 +214,9 @@ func (ts *ThreadScan) Stats() Stats { return ts.stats }
 
 // BufferSize returns the per-thread delete buffer capacity.
 func (ts *ThreadScan) BufferSize() int { return ts.cfg.BufferSize }
+
+// Shards returns the collect pipeline's shard count K.
+func (ts *ThreadScan) Shards() int { return ts.shards.k() }
 
 // threadStart registers a thread with the domain (the analog of the
 // paper's pthread_create hook).
@@ -178,6 +234,8 @@ func (ts *ThreadScan) threadStart(t *simt.Thread) {
 
 // threadExit deregisters a thread, moving its unprocessed buffer to the
 // orphan list so its nodes are still reclaimed by future collects.
+// ringCount is unchanged: orphans stay part of the global buffered
+// count.
 func (ts *ThreadScan) threadExit(t *simt.Thread) {
 	ts.lock.Lock(t)
 	id := t.ID()
@@ -191,8 +249,10 @@ func (ts *ThreadScan) threadExit(t *simt.Thread) {
 // Free is the paper's free(): hand an *unlinked* node to the
 // reclamation domain.  The node must be unreachable from shared memory
 // (Assumption 1.1); ThreadScan decides when it is safe to deallocate.
-// When the calling thread's buffer is full, Free triggers TS-Collect
-// and does not return until the phase completes.
+// When the calling thread's buffer is full — or, with the watermark
+// trigger enabled, when the global buffered count crosses the
+// watermark — Free triggers TS-Collect and does not return until the
+// phase completes.
 func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 	addr &^= 7 // tolerate mark bits; the buffer stores node bases
 	c := ts.costs()
@@ -200,6 +260,21 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 	ts.stats.Frees++
 	tt := ts.perThread[t.ID()]
 	if tt.ring.Push(addr) {
+		ts.ringCount++
+		if ts.cfg.CollectWatermark > 0 {
+			t.Charge(c.Load) // read the shared buffered-count estimate
+			if ts.ringCount >= ts.cfg.CollectWatermark {
+				ts.lock.Lock(t)
+				if ts.ringCount >= ts.cfg.CollectWatermark {
+					ts.stats.WatermarkCollects++
+					ts.collect(t)
+				} else {
+					// Another reclaimer collected while we waited.
+					ts.stats.AvoidedCollects++
+				}
+				ts.lock.Unlock(t)
+			}
+		}
 		return
 	}
 	// Buffer full: become the reclaimer (or discover someone else just
@@ -208,11 +283,13 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 	// buffer has been drained ... and that it can go back to work").
 	ts.lock.Lock(t)
 	if tt.ring.Push(addr) {
+		ts.ringCount++
 		ts.stats.AvoidedCollects++
 		ts.lock.Unlock(t)
 		return
 	}
 	ts.collect(t)
+	ts.ringCount++
 	if !tt.ring.Push(addr) {
 		// The collect re-buffered more marked (still-referenced) nodes
 		// than the ring holds; park the newcomer with the orphans, the
@@ -274,6 +351,12 @@ func (ts *ThreadScan) RegisteredThreads() int {
 // all buffers (diagnostics and leak accounting).
 func (ts *ThreadScan) Buffered() int {
 	n := len(ts.orphans) + len(ts.pendingFree) + len(ts.helpQueue)
+	for _, list := range ts.pendingShards {
+		n += len(list)
+	}
+	for _, list := range ts.helpShards {
+		n += len(list)
+	}
 	for _, tt := range ts.perThread {
 		if tt != nil {
 			n += tt.ring.Len()
@@ -300,6 +383,12 @@ func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
 			ts.freeNode(t, addr)
 		}
 		ts.pendingFree = ts.pendingFree[:0]
+		for _, list := range ts.pendingShards {
+			for _, addr := range list {
+				ts.freeNode(t, addr)
+			}
+		}
+		ts.pendingShards = ts.pendingShards[:0]
 		ts.lock.Unlock(t)
 		if ts.stats.Reclaimed+ts.stats.HelpFreed == before {
 			break
@@ -310,79 +399,87 @@ func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
 
 func (ts *ThreadScan) costs() simt.CostModel { return ts.sim.Config().Costs }
 
-// collect is TS-Collect (Algorithm 1, lines 1–16).  Caller holds the
-// reclamation lock.
+// collect is TS-Collect (Algorithm 1, lines 1–16), run as a sharded
+// pipeline: aggregate into K address-sharded sub-buffers, prepare
+// (sort+dedup) each shard as an independently claimable unit, scan,
+// sweep shard by shard.  Caller holds the reclamation lock.
 func (ts *ThreadScan) collect(t *simt.Thread) {
 	c := ts.costs()
 	start := t.Cycles()
 	ts.stats.Collects++
+	ts.reclaimerID = t.ID()
 
 	// HelpFree: the previous phase's unmarked nodes become this phase's
-	// help queue — scanners free chunks of it inside their handlers
-	// (§7: "TS-Scan would then check to see whether there are any
-	// pending nodes to free (from a previous iteration)").
+	// help queue — scanners free them inside their handlers (§7:
+	// "TS-Scan would then check to see whether there are any pending
+	// nodes to free (from a previous iteration)").
 	ts.helpQueue = append(ts.helpQueue, ts.pendingFree...)
 	ts.pendingFree = ts.pendingFree[:0]
+	ts.helpShards = append(ts.helpShards, ts.pendingShards...)
+	ts.pendingShards = ts.pendingShards[:0]
 
-	// Aggregate all delete buffers into the master buffer (§4.2's
-	// distributed-buffer design).
-	ts.master = ts.master[:0]
+	// Aggregate all delete buffers into the sharded master buffer
+	// (§4.2's distributed-buffer design).  K=1 drains straight into
+	// the single shard — no routing, no staging copy on the hot path.
+	ts.shards.reset()
+	k1 := ts.shards.k() == 1
 	for id, tt := range ts.perThread {
 		if tt == nil || !ts.registered[id] {
 			continue
 		}
 		var n int
-		ts.master, n = tt.ring.Drain(ts.master)
+		if k1 {
+			sh := &ts.shards.sub[0]
+			sh.buf, n = tt.ring.Drain(sh.buf)
+			ts.shards.total += n
+		} else {
+			ts.scratch, n = tt.ring.Drain(ts.scratch[:0])
+			for _, a := range ts.scratch {
+				ts.shards.add(a)
+			}
+		}
 		t.Charge(int64(n) * (c.Load + c.Step))
 	}
 	if len(ts.orphans) > 0 {
-		ts.master = append(ts.master, ts.orphans...)
+		if k1 {
+			sh := &ts.shards.sub[0]
+			sh.buf = append(sh.buf, ts.orphans...)
+			ts.shards.total += len(ts.orphans)
+		} else {
+			for _, a := range ts.orphans {
+				ts.shards.add(a)
+			}
+		}
 		t.Charge(int64(len(ts.orphans)) * (c.Load + c.Step))
 		ts.orphans = ts.orphans[:0]
 	}
-	if len(ts.master) == 0 {
+	ts.ringCount = 0
+	if ts.shards.total == 0 {
+		// Nothing new to scan, but outstanding HelpFree work deferred
+		// by the previous phase must still be finished — teardown
+		// reaches here with empty rings and a populated help queue,
+		// which would otherwise leak permanently.
+		ts.drainHelpQueue(t)
+		ts.stats.CollectCycles += t.Cycles() - start
 		return
 	}
-	if len(ts.master) > ts.stats.MaxMaster {
-		ts.stats.MaxMaster = len(ts.master)
+	if ts.shards.total > ts.stats.MaxMaster {
+		ts.stats.MaxMaster = ts.shards.total
 	}
 
-	// Sort (Algorithm 1 line 2) so scans can binary-search.
-	switch ts.cfg.Lookup {
-	case LookupBinary, LookupLinear:
-		sort.Slice(ts.master, func(i, j int) bool { return ts.master[i] < ts.master[j] })
-		t.Charge(int64(len(ts.master)) * int64(log2ceil(len(ts.master))) * 2 * c.Step)
-	case LookupHash:
-		if ts.hashSet == nil {
-			ts.hashSet = make(map[uint64]int, len(ts.master))
-		} else {
-			clear(ts.hashSet)
-		}
-		for i, a := range ts.master {
-			ts.hashSet[a] = i
-		}
-		t.Charge(int64(len(ts.master)) * (c.Store + 2*c.Step))
-	}
-	if cap(ts.marks) < len(ts.master) {
-		ts.marks = make([]bool, len(ts.master))
+	if ts.shards.k() == 1 {
+		// The paper's serial order: sort (Algorithm 1 line 2), then
+		// signal (lines 3–5).
+		ts.prepareShard(t, 0)
+		ts.signalPeers(t)
 	} else {
-		ts.marks = ts.marks[:len(ts.master)]
-		for i := range ts.marks {
-			ts.marks[i] = false
-		}
-	}
-
-	// Signal every other registered thread (lines 3–5).  Exited threads
-	// deregister under the lock, so everyone signaled will ACK.
-	ts.acksGot, ts.acksNeed = 0, 0
-	threads := ts.sim.Threads()
-	for id := range ts.registered {
-		if !ts.registered[id] || id == t.ID() {
-			continue
-		}
-		if t.Signal(threads[id], ts.cfg.Signal) {
-			ts.acksNeed++
-		}
+		// Pipelined order: signal first, sort lazily.  Every probe
+		// (ours and the scanners') prepares its target shard on demand,
+		// and each handler additionally claims a fair share of shards
+		// to sort, so the sort work the paper serializes on the
+		// reclaimer overlaps the scan phase across all signaled
+		// threads.
+		ts.signalPeers(t)
 	}
 
 	// Scan our own stack and registers (line 7).
@@ -394,24 +491,45 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 		t.Pause()
 	}
 
+	// Prepare whatever shards no probe touched and no scanner claimed
+	// (their nodes are unmarked by definition — nothing probed them —
+	// but the sweep still needs them sorted, deduped, and mark-sized).
+	if ts.shards.k() > 1 {
+		for i := range ts.shards.sub {
+			ts.prepareShard(t, i)
+		}
+	}
+
 	// Sweep (lines 11–15): free unmarked nodes, re-buffer marked ones.
 	// Under HelpFree, unmarked nodes are deferred to the next phase's
-	// scanners instead of being freed here.
+	// scanners instead of being freed here — as one chunked queue when
+	// unsharded, as whole claimable per-shard lists when sharded.
 	tt := ts.perThread[t.ID()]
-	for i, addr := range ts.master {
-		if ts.marks[i] {
-			ts.stats.Remarked++
-			if !tt.ring.Push(addr) {
-				ts.orphans = append(ts.orphans, addr)
+	for si := range ts.shards.sub {
+		sh := &ts.shards.sub[si]
+		var deferred []uint64
+		for i, addr := range sh.buf {
+			if sh.marks[i] {
+				ts.stats.Remarked++
+				if !tt.ring.Push(addr) {
+					ts.orphans = append(ts.orphans, addr)
+				}
+				t.Charge(c.Store)
+				continue
+			}
+			if !ts.cfg.HelpFree {
+				ts.freeNode(t, addr)
+				continue
+			}
+			if ts.shards.k() == 1 {
+				ts.pendingFree = append(ts.pendingFree, addr)
+			} else {
+				deferred = append(deferred, addr)
 			}
 			t.Charge(c.Store)
-			continue
 		}
-		if ts.cfg.HelpFree {
-			ts.pendingFree = append(ts.pendingFree, addr)
-			t.Charge(c.Store)
-		} else {
-			ts.freeNode(t, addr)
+		if len(deferred) > 0 {
+			ts.pendingShards = append(ts.pendingShards, deferred)
 		}
 	}
 	// Whatever this phase's scanners did not help-free, the reclaimer
@@ -420,30 +538,126 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 	ts.stats.CollectCycles += t.Cycles() - start
 }
 
+// signalPeers signals every other registered thread (Algorithm 1 lines
+// 3–5).  Exited threads deregister under the lock, so everyone signaled
+// will ACK.
+func (ts *ThreadScan) signalPeers(t *simt.Thread) {
+	ts.acksGot, ts.acksNeed = 0, 0
+	threads := ts.sim.Threads()
+	for id := range ts.registered {
+		if !ts.registered[id] || id == t.ID() {
+			continue
+		}
+		if t.Signal(threads[id], ts.cfg.Signal) {
+			ts.acksNeed++
+		}
+	}
+}
+
+// prepareShard makes shard i probe-ready — sort+dedup (binary/linear)
+// or hash-set build (hash), plus the mark bitmap — charging the paper's
+// cost model to the preparing thread, which under sharding may be a
+// scanner inside its handler rather than the reclaimer.  The prepare is
+// atomic between safepoints, so a shard is claimed and prepared by
+// exactly one thread.  Reports whether this call did the work.
+func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
+	sh := &ts.shards.sub[i]
+	if sh.ready {
+		return false
+	}
+	if len(sh.buf) == 0 {
+		// Drop last collect's membership state: a stale hash entry (or
+		// mark slot) must not let a probe "hit" in a now-empty shard.
+		if sh.hash != nil {
+			clear(sh.hash)
+		}
+		sh.marks = sh.marks[:0]
+		sh.ready = true
+		return false
+	}
+	c := ts.costs()
+	n := len(sh.buf)
+	switch ts.cfg.Lookup {
+	case LookupBinary, LookupLinear:
+		var dups int
+		sh.buf, dups = sortDedup(sh.buf)
+		t.Charge(int64(n) * int64(log2ceil(n)) * 2 * c.Step)
+		if dups > 0 {
+			ts.stats.DoubleRetires += uint64(dups)
+			t.Charge(int64(dups) * c.Step)
+		}
+	case LookupHash:
+		if sh.hash == nil {
+			sh.hash = make(map[uint64]int, n)
+		} else {
+			clear(sh.hash)
+		}
+		kept := sh.buf[:0]
+		for _, a := range sh.buf {
+			if _, dup := sh.hash[a]; dup {
+				ts.stats.DoubleRetires++
+				t.Charge(c.Step)
+				continue
+			}
+			sh.hash[a] = len(kept)
+			kept = append(kept, a)
+		}
+		sh.buf = kept
+		t.Charge(int64(n) * (c.Store + 2*c.Step))
+	}
+	if cap(sh.marks) < len(sh.buf) {
+		sh.marks = make([]bool, len(sh.buf))
+	} else {
+		sh.marks = sh.marks[:len(sh.buf)]
+		for j := range sh.marks {
+			sh.marks[j] = false
+		}
+	}
+	sh.ready = true
+	ts.stats.ShardsSorted++
+	if t.ID() != ts.reclaimerID {
+		ts.stats.HelpSortedShards++
+	}
+	return true
+}
+
 // freeNode returns a proven-unreferenced node to the allocator.
 func (ts *ThreadScan) freeNode(t *simt.Thread, addr uint64) {
 	t.FreeAddr(addr)
 	ts.stats.Reclaimed++
 }
 
-// drainHelpQueue frees every remaining help-queue node.  The queue is
-// stolen in one step (atomic between safepoints) because freeNode
-// passes safepoints, during which scanners' helpFree could otherwise
-// pop — and double-free — the same entries.
+// drainHelpQueue frees every remaining help-queue node — the chunked
+// queue and any unclaimed per-shard lists.  Each is stolen in one step
+// (atomic between safepoints) because freeNode passes safepoints,
+// during which scanners' helpFree could otherwise pop — and double-free
+// — the same entries.
 func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 	q := ts.helpQueue
 	ts.helpQueue = nil
 	for _, addr := range q {
 		ts.freeNode(t, addr)
 	}
+	lists := ts.helpShards
+	ts.helpShards = nil
+	for _, list := range lists {
+		for _, addr := range list {
+			ts.freeNode(t, addr)
+		}
+	}
 }
 
 // scanHandler is TS-Scan (Algorithm 1, lines 18–26), run in the signal
-// handler of every signaled thread.
+// handler of every signaled thread.  Under the sharded pipeline the
+// handler is also where the help protocol runs: free a unit of the
+// previous phase's queue, claim an unprepared shard to sort, then scan.
 func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 	h0 := t.HandlerCycles()
 	if ts.cfg.HelpFree {
 		ts.helpFree(t)
+	}
+	if ts.shards.k() > 1 {
+		ts.helpSort(t)
 	}
 	ts.scanThread(t)
 	// ACK (line 25): a store visible to the reclaimer.
@@ -453,11 +667,58 @@ func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 	ts.stats.HandlerCycles += t.HandlerCycles() - h0
 }
 
-// helpFree frees up to one chunk of the previous phase's unmarked nodes
-// (§7 future work).  Safe for any thread: queued nodes are already
-// proven unreferenced.
+// helpSort claims a fair share of the unprepared shards — K divided by
+// the number of scanning threads — and sorts them, sharing the sort
+// work the paper serializes on the reclaimer.  Probing prepares further
+// shards on demand; bounding the claim keeps one early scanner from
+// hogging the whole pipeline inside a single quantum.
+func (ts *ThreadScan) helpSort(t *simt.Thread) {
+	share := len(ts.shards.sub)/(ts.acksNeed+1) + 1
+	for i := range ts.shards.sub {
+		if share == 0 {
+			return
+		}
+		sh := &ts.shards.sub[i]
+		if !sh.ready && len(sh.buf) > 0 {
+			ts.prepareShard(t, i)
+			share--
+		}
+	}
+}
+
+// helpFree frees one HelpFreeChunk-bounded unit of the previous
+// phase's unmarked nodes (§7 future work): from a claimed per-shard
+// list under the sharded pipeline, else from the chunked queue.  Safe
+// for any thread: queued nodes are already proven unreferenced.
 func (ts *ThreadScan) helpFree(t *simt.Thread) {
 	n := ts.cfg.HelpFreeChunk
+	for n > 0 && len(ts.helpShards) > 0 {
+		// Claim a whole list before freeing (FreeAddr passes
+		// safepoints, and no other helper — or the reclaimer's drain —
+		// may see these entries), but cap the handler's total work at
+		// one chunk: an oversized remainder goes back for the next
+		// helper, preserving the bounded-handler-latency trade
+		// HelpFreeChunk exists for.
+		last := len(ts.helpShards) - 1
+		list := ts.helpShards[last]
+		ts.helpShards = ts.helpShards[:last]
+		take := n
+		if take > len(list) {
+			take = len(list)
+		}
+		for i := 0; i < take; i++ {
+			addr := list[len(list)-1]
+			list = list[:len(list)-1]
+			t.FreeAddr(addr)
+			ts.stats.HelpFreed++
+		}
+		n -= take
+		if len(list) > 0 {
+			ts.helpShards = append(ts.helpShards, list)
+		} else {
+			ts.stats.HelpSweptShards++
+		}
+	}
 	if n > len(ts.helpQueue) {
 		n = len(ts.helpQueue)
 	}
@@ -490,9 +751,12 @@ func (ts *ThreadScan) scanThread(t *simt.Thread) {
 	ts.stats.ScannedWords += uint64(words)
 }
 
-// probe masks the word's low-order bits (§4.2 "Pointer Operations") and
-// looks it up in the master buffer, marking on a hit.  The three lookup
-// structures are semantically identical; they differ only in cost.
+// probe masks the word's low-order bits (§4.2 "Pointer Operations"),
+// routes it to its shard, and looks it up there, marking on a hit.  If
+// the shard has not been prepared yet (sharded pipeline only), the
+// probing thread claims and prepares it on the spot — scan-side help.
+// The three lookup structures are semantically identical; they differ
+// only in cost.
 func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
 	c := ts.costs()
 	t.Charge(2 * c.Step) // mask + range check
@@ -500,24 +764,33 @@ func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
 	if p == 0 || !ts.sim.Heap().Contains(p) {
 		return
 	}
+	si := 0
+	if ts.shards.k() > 1 {
+		t.Charge(c.Step) // shard routing: multiply + shift
+		si = ts.shards.route(p)
+		if !ts.shards.sub[si].ready {
+			ts.prepareShard(t, si)
+		}
+	}
+	sh := &ts.shards.sub[si]
 	idx := -1
 	switch ts.cfg.Lookup {
 	case LookupBinary:
-		lo, hi := 0, len(ts.master)
+		lo, hi := 0, len(sh.buf)
 		for lo < hi {
 			mid := (lo + hi) / 2
 			t.Charge(c.Load + c.Step)
-			if ts.master[mid] < p {
+			if sh.buf[mid] < p {
 				lo = mid + 1
 			} else {
 				hi = mid
 			}
 		}
-		if lo < len(ts.master) && ts.master[lo] == p {
+		if lo < len(sh.buf) && sh.buf[lo] == p {
 			idx = lo
 		}
 	case LookupLinear:
-		for i, a := range ts.master {
+		for i, a := range sh.buf {
 			t.Charge(c.Load)
 			if a == p {
 				idx = i
@@ -526,12 +799,12 @@ func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
 		}
 	case LookupHash:
 		t.Charge(c.Load + 3*c.Step)
-		if i, ok := ts.hashSet[p]; ok {
+		if i, ok := sh.hash[p]; ok {
 			idx = i
 		}
 	}
-	if idx >= 0 && !ts.marks[idx] {
-		ts.marks[idx] = true
+	if idx >= 0 && !sh.marks[idx] {
+		sh.marks[idx] = true
 		t.Charge(c.Store)
 	}
 }

@@ -390,6 +390,274 @@ func TestUnsoundSchemeIsCaught(t *testing.T) {
 	}
 }
 
+// TestDoubleRetireFreedOnce is the dedup regression: the same address
+// retired twice lands twice in the master buffer, and the sweep must
+// free it exactly once (pre-dedup it called FreeAddr per occurrence —
+// a double free the checked heap catches).
+func TestDoubleRetireFreedOnce(t *testing.T) {
+	s := testSim(1, 29)
+	ts := New(s, Config{BufferSize: 32})
+	s.Spawn("worker", func(th *simt.Thread) {
+		addr := allocNode(th, 0, 1)
+		th.SetReg(0, 0)
+		ts.Free(th, addr)
+		ts.Free(th, addr) // application double retire
+		ts.Collect(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("double retire reached the allocator: %v", err)
+	}
+	st := ts.Stats()
+	if st.DoubleRetires != 1 {
+		t.Fatalf("DoubleRetires = %d, want 1", st.DoubleRetires)
+	}
+	if st.Reclaimed != 1 {
+		t.Fatalf("Reclaimed = %d, want 1", st.Reclaimed)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
+// TestDoubleRetireReferencedSurvives covers the nastier half of the
+// duplicate bug: with two copies in the master buffer, the probe marks
+// only one (binary search lands on the first; the hash keeps the last),
+// so the sweep would free the other copy of a node a thread still
+// references — a use-after-free, not just a double free.  Dedup leaves
+// one copy, the mark protects it, and the node survives until released.
+func TestDoubleRetireReferencedSurvives(t *testing.T) {
+	for _, kind := range []LookupKind{LookupBinary, LookupHash} {
+		s := testSim(2, 37)
+		ts := New(s, Config{BufferSize: 16, Lookup: kind})
+		var node uint64
+		holding, release := false, false
+		s.Spawn("reader", func(th *simt.Thread) {
+			node = allocNode(th, 5, 11)
+			holding = true
+			for !release {
+				th.Load(6, 5, 0)
+				if th.Reg(6) != 11 {
+					t.Errorf("%v: referenced node clobbered", kind)
+					break
+				}
+			}
+			th.SetReg(5, 0)
+			th.SetReg(6, 0)
+		})
+		s.Spawn("bug", func(th *simt.Thread) {
+			for !holding {
+				th.Pause()
+			}
+			ts.Free(th, node)
+			ts.Free(th, node) // double retire while still referenced
+			churn(ts, th, 64) // force collects
+			if !s.Heap().LiveAt(node) {
+				t.Errorf("%v: referenced double-retired node was freed", kind)
+			}
+			release = true
+			for s.Heap().LiveAt(node) {
+				churn(ts, th, 16)
+				th.Work(1000)
+			}
+			ts.FlushAll(th)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if st := ts.Stats(); st.DoubleRetires == 0 {
+			t.Fatalf("%v: duplicate never counted: %+v", kind, st)
+		}
+		if live := s.Heap().Stats().LiveBlocks; live != 0 {
+			t.Fatalf("%v: leaked %d blocks", kind, live)
+		}
+	}
+}
+
+// TestFlushDrainsHelpQueueWithEmptyRings: a flush whose final collect
+// finds every ring empty must still finish the HelpFree work deferred
+// by the previous phase — the early return used to skip the drain and
+// leak the whole queue at teardown.
+func TestFlushDrainsHelpQueueWithEmptyRings(t *testing.T) {
+	s := testSim(1, 53)
+	ts := New(s, Config{BufferSize: 8, HelpFree: true})
+	s.Spawn("worker", func(th *simt.Thread) {
+		churn(ts, th, 8)
+		ts.Collect(th) // defers all 8 to pendingFree; rings now empty
+		if left := ts.FlushAll(th); left != 0 {
+			t.Errorf("FlushAll left %d help-queued nodes", left)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
+// TestWatermarkNoCollectStormWhenPinned: nodes pinned by live
+// references are re-buffered as remarked every collect; they must not
+// keep the watermark trigger armed, or every subsequent Free runs a
+// futile signal-all collect that reclaims nothing.
+func TestWatermarkNoCollectStormWhenPinned(t *testing.T) {
+	const watermark = 16
+	s := testSim(2, 59)
+	ts := New(s, Config{BufferSize: 1024, CollectWatermark: watermark})
+	release := false
+	pinned := false
+	s.Spawn("pinner", func(th *simt.Thread) {
+		// Hold private references to `watermark` retired nodes: enough
+		// pinned garbage to sit exactly at the trigger threshold.
+		th.PushFrame(watermark)
+		for i := 0; i < watermark; i++ {
+			allocNode(th, 15, uint64(i))
+			th.SetSlot(i, th.Reg(15))
+			addr := th.Reg(15)
+			th.SetReg(15, 0)
+			ts.Free(th, addr)
+		}
+		pinned = true
+		for !release {
+			th.Pause()
+		}
+		for i := 0; i < watermark; i++ {
+			th.SetSlot(i, 0)
+		}
+		th.PopFrame()
+	})
+	s.Spawn("worker", func(th *simt.Thread) {
+		for !pinned {
+			th.Pause()
+		}
+		churn(ts, th, 100) // 100 fresh frees against 16 pinned nodes
+		st := ts.Stats()
+		// Fresh retirement re-arms the trigger roughly once per
+		// watermark's worth of frees — not once per Free.
+		if max := uint64(100/watermark + 3); st.Collects > max {
+			t.Errorf("collect storm: %d collects for 100 frees (want <= %d): %+v",
+				st.Collects, max, st)
+		}
+		release = true
+		for s.Heap().Stats().LiveBlocks > 0 {
+			if ts.FlushAll(th) == 0 {
+				break
+			}
+			th.Work(1000)
+		}
+		ts.FlushAll(th)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
+// TestWatermarkTriggersCollect: with the adaptive trigger, a collect
+// starts when the global buffered count crosses the watermark — long
+// before any single ring (here 16x the watermark) fills.
+func TestWatermarkTriggersCollect(t *testing.T) {
+	s := testSim(2, 41)
+	ts := New(s, Config{BufferSize: 1024, CollectWatermark: 64})
+	s.Spawn("worker", func(th *simt.Thread) {
+		churn(ts, th, 200)
+		if left := ts.FlushAll(th); left != 0 {
+			t.Errorf("FlushAll left %d nodes", left)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := ts.Stats()
+	if st.WatermarkCollects == 0 {
+		t.Fatalf("watermark never triggered: %+v", st)
+	}
+	// No ring ever filled, so every master stayed near the watermark.
+	if st.MaxMaster > 2*64 {
+		t.Fatalf("MaxMaster = %d despite watermark 64", st.MaxMaster)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
+// TestShardedCollectReclaimsAll runs the hold-and-churn stress through
+// the sharded pipeline: same safety and liveness as the serial collect,
+// with the sort work visibly split into per-shard passes.
+func TestShardedCollectReclaimsAll(t *testing.T) {
+	s := testSim(3, 43)
+	ts := New(s, Config{BufferSize: 24, Shards: 8})
+	for i := 0; i < 4; i++ {
+		s.Spawn("worker", func(th *simt.Thread) {
+			for j := 0; j < 80; j++ {
+				allocNode(th, 2, uint64(j))
+				held := th.Reg(2)
+				churn(ts, th, 3)
+				th.Load(3, 2, 0)
+				if th.Reg(3) != uint64(j) {
+					t.Error("held node corrupted under sharded collect")
+				}
+				th.SetReg(2, 0)
+				th.SetReg(3, 0)
+				ts.Free(th, held)
+			}
+			ts.FlushAll(th)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := ts.Stats()
+	if st.Reclaimed+st.HelpFreed != st.Frees {
+		t.Fatalf("reclaimed %d+%d of %d frees", st.Reclaimed, st.HelpFreed, st.Frees)
+	}
+	if st.ShardsSorted <= st.Collects {
+		t.Fatalf("sharded collect prepared %d shards over %d collects", st.ShardsSorted, st.Collects)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
+// TestShardedHelpProtocol: with sharding plus HelpFree, scanners must
+// observably share the pipeline — sorting shards inside their handlers
+// and claiming whole per-shard free lists to sweep.
+func TestShardedHelpProtocol(t *testing.T) {
+	s := simt.New(simt.Config{
+		Cores: 3, Quantum: 2_000, Seed: 47,
+		MaxCycles: 60_000_000_000,
+		Heap:      simmem.Config{Words: 1 << 20, Check: true, Poison: true},
+	})
+	ts := New(s, Config{BufferSize: 64, Shards: 16, HelpFree: true})
+	done := false
+	s.Spawn("churner", func(th *simt.Thread) {
+		churn(ts, th, 600)
+		done = true
+		ts.FlushAll(th)
+	})
+	for i := 0; i < 2; i++ {
+		s.Spawn("scanner", func(th *simt.Thread) {
+			for !done { // scans (and helps) when signaled
+				th.Work(500)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := ts.Stats()
+	if st.HelpSortedShards == 0 {
+		t.Fatalf("scanners never help-sorted a shard: %+v", st)
+	}
+	if st.HelpSweptShards == 0 || st.HelpFreed == 0 {
+		t.Fatalf("scanners never claimed a sweep list: %+v", st)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
 func TestStatsAccounting(t *testing.T) {
 	s := testSim(2, 23)
 	ts := New(s, Config{BufferSize: 16})

@@ -59,6 +59,44 @@ func TestRingMinimumCapacity(t *testing.T) {
 	}
 }
 
+// TestRingNonPowerOfTwoWrap drives head and tail across many wraps at
+// capacities where the index math cannot be a mask: staggered
+// push/drain cycles must preserve FIFO order and exact occupancy at
+// every wrap offset.
+func TestRingNonPowerOfTwoWrap(t *testing.T) {
+	for _, capacity := range []int{3, 5, 6, 7, 11} {
+		r := NewRing(capacity)
+		next, expect := uint64(0), uint64(0)
+		// Stagger by filling to capacity, then draining, so every round
+		// starts one slot deeper into the buffer than a full cycle.
+		for round := 0; round < 4*capacity; round++ {
+			fill := round%capacity + 1
+			for i := 0; i < fill; i++ {
+				if !r.Push(next) {
+					t.Fatalf("cap %d round %d: push refused at len %d", capacity, round, r.Len())
+				}
+				next++
+			}
+			if r.Len() != fill {
+				t.Fatalf("cap %d round %d: Len %d want %d", capacity, round, r.Len(), fill)
+			}
+			out, n := r.Drain(nil)
+			if n != fill {
+				t.Fatalf("cap %d round %d: drained %d want %d", capacity, round, n, fill)
+			}
+			for _, v := range out {
+				if v != expect {
+					t.Fatalf("cap %d round %d: got %d want %d", capacity, round, v, expect)
+				}
+				expect++
+			}
+		}
+		if expect != next {
+			t.Fatalf("cap %d: lost values: %d of %d", capacity, expect, next)
+		}
+	}
+}
+
 // TestQuickRingFIFO property-checks that any interleaving of pushes and
 // drains preserves FIFO order and never loses or duplicates values.
 func TestQuickRingFIFO(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"threadscan/internal/core"
+	"threadscan/internal/workload"
 )
 
 // Ablations for the design choices DESIGN.md calls out (A1-A4).  Each
@@ -150,6 +151,92 @@ func WriteScanCostTable(w io.Writer, rows []ScanCostRow, helpFree bool) error {
 			row.Threads, row.Result.Throughput, c.Collects, reclaimed,
 			float64(c.HandlerCycles)/float64(reclaimed),
 			float64(c.CollectCycles)/float64(reclaimed))
+	}
+	return tw.Flush()
+}
+
+// ShardRow is one point of the sharded-collect ablation (A5): the
+// collect pipeline's shard count K crossed with the global watermark
+// trigger, on a scenario whose retirement pattern actually stresses the
+// reclaimer's serial section.
+type ShardRow struct {
+	Shards    int
+	Watermark int
+	Result    ScenarioResult
+}
+
+// AblationShards sweeps the collect pipeline's K and the watermark
+// trigger on a built-in scenario (default zipfian-skew — the skewed
+// retirement shape whose single hot reclaimer the pipeline exists to
+// break up).  Each K runs with the watermark off and at half the
+// aggregate delete-buffer capacity.  Of SweepParams, Seed, Cores, and
+// Quantum pass straight through; Duration stretches every scenario
+// phase proportionally, normalized so tsbench's 50ms -duration-ms
+// default runs the scenario at its built-in length (pass 100ms for 2x,
+// 25ms for 0.5x; 0 also keeps the built-in length — note this
+// reference is the CLI default, not the figure sweeps' 20ms window).
+// Scale and CacheSim do not apply to scenario runs.
+func AblationShards(scenarioName string, ks []int, p SweepParams) ([]ShardRow, error) {
+	if scenarioName == "" {
+		scenarioName = "zipfian-skew"
+	}
+	if len(ks) == 0 {
+		ks = []int{1, 2, 4, 8, 16}
+	}
+	base, ok := workload.ByName(scenarioName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown scenario %q", scenarioName)
+	}
+	if p.Duration > 0 {
+		base = base.Scale(float64(p.Duration) / 50_000_000)
+	}
+	base.DS = "list"
+	base.Scheme = "threadscan"
+	if p.Seed != 0 {
+		base.Seed = p.Seed
+	}
+	if p.Cores > 0 {
+		base.Cores = p.Cores
+	}
+	if p.Quantum > 0 {
+		base.Quantum = p.Quantum
+	}
+	if err := base.Fill(); err != nil {
+		return nil, err
+	}
+	watermark := base.Threads * base.BufferSize / 2
+	var rows []ShardRow
+	for _, k := range ks {
+		for _, wm := range []int{0, watermark} {
+			spec := base
+			spec.Shards = k
+			spec.Watermark = wm
+			r, err := RunScenario(spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ShardRow{Shards: k, Watermark: wm, Result: r})
+		}
+	}
+	return rows, nil
+}
+
+// WriteShardTable renders the A5 ablation: the reclaimer's serial
+// section (collect cycles) against throughput and the help protocol's
+// work sharing, per K and watermark setting.
+func WriteShardTable(w io.Writer, rows []ShardRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(rows) > 0 {
+		fmt.Fprintf(tw, "# A5: sharded collect pipeline (%s, list/threadscan)\n", rows[0].Result.Name)
+	}
+	fmt.Fprintln(tw, "shards\twatermark\tthroughput\tcollects\tcollect_cyc\thandler_cyc\thelp_sorted\thelp_swept\tpeak_garbage")
+	for _, row := range rows {
+		c := row.Result.Core
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Shards, row.Watermark, row.Result.Throughput,
+			c.Collects, c.CollectCycles, c.HandlerCycles,
+			c.HelpSortedShards, c.HelpSweptShards,
+			row.Result.Footprint.PeakRetiredNodes)
 	}
 	return tw.Flush()
 }

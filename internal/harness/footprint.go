@@ -43,6 +43,13 @@ type Footprint struct {
 	// 0 for every sound reclaiming scheme, the whole graveyard for
 	// Leaky.
 	FinalRetiredNodes uint64 `json:"final_retired_nodes"`
+
+	// AccountingSkew is the largest Freed-minus-Retired excess any
+	// sample observed.  A sound scheme never frees more than was
+	// retired, so nonzero skew flags broken scheme accounting; the
+	// sampler clamps the garbage estimate at zero instead of letting
+	// the uint64 subtraction wrap to ~1.8e19 and poison the peaks.
+	AccountingSkew uint64 `json:"accounting_skew,omitempty"`
 }
 
 // footprintSampler runs inside a dedicated simulated thread, sampling
@@ -82,6 +89,14 @@ func (f *footprintSampler) run(th *simt.Thread) {
 
 func (f *footprintSampler) garbage() uint64 {
 	st := f.scheme.Stats()
+	if st.Freed > st.Retired {
+		// Scheme accounting skew: record it (the run surfaces it as an
+		// error) and clamp rather than wrap.
+		if skew := st.Freed - st.Retired; skew > f.fp.AccountingSkew {
+			f.fp.AccountingSkew = skew
+		}
+		return 0
+	}
 	return st.Retired - st.Freed
 }
 

@@ -53,6 +53,8 @@ type Config struct {
 	// Scheme parameters.
 	BufferSize  int             // threadscan delete buffer; 0 = 1024
 	HelpFree    bool            // threadscan §7 extension
+	Shards      int             // threadscan collect shards K; 0 = 1 (serial)
+	Watermark   int             // threadscan global collect watermark; 0 = off
 	Lookup      core.LookupKind // threadscan scan lookup (ablation A3)
 	Batch       int             // hazard/epoch/stacktrack batch; 0 = 1024
 	SlowDelay   int64           // slow-epoch cleanup stall; 0 = 40ms
@@ -174,7 +176,8 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 			DelayVictim: cfg.DelayVictim}), nil, nil
 	case "threadscan":
 		ts := reclaim.NewThreadScan(sim, core.Config{
-			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup})
+			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
+			Shards: cfg.Shards, CollectWatermark: cfg.Watermark})
 		return ts, ts.Core(), nil
 	case "stacktrack":
 		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{

@@ -47,6 +47,11 @@ type ScenarioResult struct {
 	// other schemes).
 	LeakedRegistrations int `json:"leaked_registrations"`
 
+	// AccountingError is set when the footprint sampler caught the
+	// scheme reporting more nodes freed than retired (the skew is also
+	// in Footprint.AccountingSkew).  Empty for a sound scheme.
+	AccountingError string `json:"accounting_error,omitempty"`
+
 	Footprint Footprint `json:"footprint"`
 
 	SchemeStats reclaim.Stats `json:"scheme_stats"`
@@ -238,6 +243,9 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		Scheme:      spec.Scheme,
 		BufferSize:  spec.BufferSize,
 		Batch:       spec.Batch,
+		Shards:      spec.Shards,
+		Watermark:   spec.Watermark,
+		HelpFree:    spec.HelpFree,
 		DelayVictim: 1,
 	}
 	schemeCfg.fill()
@@ -376,6 +384,10 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		st := tsCore.Stats()
 		res.Core = &st
 		res.LeakedRegistrations = tsCore.RegisteredThreads()
+	}
+	if skew := r.sampler.fp.AccountingSkew; skew > 0 {
+		res.AccountingError = fmt.Sprintf(
+			"scheme %s freed %d more nodes than it retired", spec.Scheme, skew)
 	}
 	var sums []uint64
 	var minStart, maxFinish int64

@@ -127,6 +127,34 @@ func TestRunScenarioChurn(t *testing.T) {
 	}
 }
 
+// TestScenarioEpochTeardownClean is the teardown-leak regression: under
+// thread churn, epoch's Flush (run by one worker) must drain every
+// still-registered thread's retire list, not just the flusher's own —
+// anything left shows up as phantom FinalRetiredNodes.
+func TestScenarioEpochTeardownClean(t *testing.T) {
+	churn, ok := workload.ByName("thread-churn")
+	if !ok {
+		t.Fatal("thread-churn builtin missing")
+	}
+	spec := churn.Scale(0.5)
+	spec.DS = "list"
+	spec.Scheme = "epoch"
+	r, err := RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Footprint.FinalRetiredNodes != 0 {
+		t.Fatalf("epoch teardown leaked %d nodes", r.Footprint.FinalRetiredNodes)
+	}
+	st := r.SchemeStats
+	if st.Retired != st.Freed {
+		t.Fatalf("retired %d != freed %d after flush", st.Retired, st.Freed)
+	}
+	if r.AccountingError != "" {
+		t.Fatalf("accounting error: %s", r.AccountingError)
+	}
+}
+
 // TestScenarioGarbageContrast checks the robustness metric does its
 // job: under a delete-heavy phase, leaky's peak unreclaimed garbage
 // must dwarf threadscan's, and threadscan's peak must stay within the

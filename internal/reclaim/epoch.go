@@ -156,10 +156,13 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 	e.stats.ReclaimPasses++
 
 	// Only nodes retired (and orphans deposited) before the snapshot
-	// are covered by this grace period.  Steal the orphan list in one
-	// atomic step (no safepoint intervenes) so concurrent reclaimers
-	// cannot both free it.
-	nOwn := len(e.retired[id])
+	// are covered by this grace period.  Steal our own retire list and
+	// the orphan list in one atomic step (no safepoint intervenes) so
+	// concurrent reclaimers — or a concurrent Flush draining all lists
+	// — cannot free either twice, and cannot nil a list out from under
+	// us while the grace wait below passes safepoints.
+	own := e.retired[id]
+	e.retired[id] = nil
 	stolen := e.orphans
 	e.orphans = nil
 
@@ -189,11 +192,10 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 	// Everything retired before the snapshot is now unreachable by
 	// anyone: every thread active at the snapshot has since passed a
 	// quiescent point.
-	for _, addr := range e.retired[id][:nOwn] {
+	for _, addr := range own {
 		t.FreeAddr(addr)
 		e.stats.Freed++
 	}
-	e.retired[id] = append(e.retired[id][:0], e.retired[id][nOwn:]...)
 	for _, addr := range stolen {
 		t.FreeAddr(addr)
 		e.stats.Freed++
@@ -201,7 +203,21 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 }
 
 // Flush implements Scheme: run a final grace period and free leftovers.
+// reclaim alone frees only the caller's own retire list plus orphans;
+// retire lists of other still-registered threads — quiescent by
+// teardown, but not yet exit-hooked — would survive as phantom garbage.
+// Steal every other thread's list into the orphan set first (one atomic
+// step, no safepoint intervenes), so the grace period below covers them
+// and the flush drains the whole domain.
 func (e *Epoch) Flush(t *simt.Thread) int {
+	id := t.ID()
+	for i := range e.retired {
+		if i == id || len(e.retired[i]) == 0 {
+			continue
+		}
+		e.orphans = append(e.orphans, e.retired[i]...)
+		e.retired[i] = nil
+	}
 	e.reclaim(t)
 	return int(e.pending())
 }

@@ -95,6 +95,13 @@ type Stats struct {
 	GraceWaits      uint64 // blocking waits for other threads
 	GraceWaitCycles int64  // virtual cycles spent in those waits
 	Protects        uint64 // Protect calls (hazard/publish traffic)
+
+	// Sharded-collect pipeline counters (ThreadScan; zero elsewhere).
+	Shards        int    // configured shard count K
+	ShardsSorted  uint64 // shard sort/build passes across all collects
+	HelpSorted    uint64 // shards sorted inside scanner handlers
+	HelpSwept     uint64 // per-shard free lists swept by scanners
+	DoubleRetires uint64 // duplicate retires of one address absorbed
 }
 
 // maxThreadID sizes per-thread state arrays.  Schemes grow their

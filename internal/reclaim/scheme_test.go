@@ -291,6 +291,46 @@ func TestEpochGraceWaitBlocksOnActiveThread(t *testing.T) {
 	}
 }
 
+// TestEpochFlushDrainsAllThreads is the teardown-leak regression: Flush
+// must drain the retire lists of *other* still-registered (quiescent)
+// threads, not just the caller's own list plus orphans.  Pre-fix, the
+// two workers' lists survived the flush as phantom garbage.
+func TestEpochFlushDrainsAllThreads(t *testing.T) {
+	s := testSim(3, 12)
+	e := NewEpoch(s, EpochConfig{Batch: 1024}) // batch never fills on its own
+	const perWorker = 10
+	retired := 0
+	flushed := false
+	for w := 0; w < 2; w++ {
+		s.Spawn("worker", func(th *simt.Thread) {
+			churn(e, th, perWorker)
+			retired++
+			for !flushed { // stay registered (alive) across the flush
+				th.Pause()
+			}
+		})
+	}
+	s.Spawn("flusher", func(th *simt.Thread) {
+		for retired < 2 {
+			th.Pause()
+		}
+		if left := e.Flush(th); left != 0 {
+			t.Errorf("Flush left %d nodes buffered", left)
+		}
+		flushed = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Freed != 2*perWorker {
+		t.Fatalf("freed %d of %d retired", st.Freed, 2*perWorker)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}
+
 func TestSlowEpochStallsReclaimers(t *testing.T) {
 	// The paper's Slow Epoch scenario: thread 0 busy-waits during its
 	// cleanup phase while still mid-operation, and every concurrent

@@ -50,12 +50,20 @@ func (s *ThreadScan) Flush(t *simt.Thread) int {
 }
 
 // Stats implements Scheme, translated from the core protocol counters.
+// Absorbed double retires count as freed: the duplicate entry is
+// resolved (dedup kept one copy), so it must not read as permanently
+// unreclaimed garbage in the footprint metric.
 func (s *ThreadScan) Stats() Stats {
 	c := s.ts.Stats()
 	return Stats{
 		Retired:       c.Frees,
-		Freed:         c.Reclaimed + c.HelpFreed,
+		Freed:         c.Reclaimed + c.HelpFreed + c.DoubleRetires,
 		Pending:       uint64(s.ts.Buffered()),
 		ReclaimPasses: c.Collects,
+		Shards:        s.ts.Shards(),
+		ShardsSorted:  c.ShardsSorted,
+		HelpSorted:    c.HelpSortedShards,
+		HelpSwept:     c.HelpSweptShards,
+		DoubleRetires: c.DoubleRetires,
 	}
 }

@@ -124,6 +124,14 @@ type Scenario struct {
 	BufferSize int
 	Batch      int
 
+	// Sharded-collect pipeline knobs (threadscan; 0/false = classic
+	// serial collect).  Shards is K, the address-shard count; Watermark
+	// triggers a collect when the global buffered count crosses it;
+	// HelpFree defers sweeping to the next phase's scanners.
+	Shards    int
+	Watermark int
+	HelpFree  bool
+
 	// Simulator knobs (0 = defaults).
 	Quantum     int64
 	HeapWords   int

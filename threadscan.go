@@ -77,8 +77,11 @@ func DefaultCosts() CostModel { return simt.DefaultCosts() }
 
 // The ThreadScan protocol (the paper's contribution).
 type (
-	// Config parameterizes a ThreadScan domain (delete buffer size,
-	// scan lookup structure, the §7 HelpFree extension).
+	// Config parameterizes a ThreadScan domain: delete buffer size,
+	// scan lookup structure, and the sharded collect pipeline's knobs —
+	// Shards (K address-sharded master sub-buffers that scanners help
+	// sort), CollectWatermark (adaptive global collect trigger), and
+	// HelpFree (the §7 scanner-assisted sweep).
 	Config = core.Config
 	// ThreadScan is a reclamation domain: per-thread delete buffers and
 	// the signal-and-scan collect protocol.
