@@ -30,6 +30,9 @@ func runScenarios(args []string) {
 		shards   = fs.Int("shards", 0, "threadscan collect shards K (0 = scenario default / serial)")
 		wmark    = fs.Int("watermark", 0, "threadscan global collect watermark (0 = scenario default / off)")
 		helpFree = fs.Bool("helpfree", false, "enable threadscan's scanner-assisted sweep (help protocol)")
+		nodes    = fs.Int("nodes", 0, "NUMA nodes to group the cores into (0 = scenario default / flat)")
+		pin      = fs.String("pin", "", `worker pinning policy: "none", "rr", or "split" ("" = scenario default)`)
+		claim    = fs.String("claim", "", `threadscan shard-claim order: "affinity" or "rr" ("" = scenario default)`)
 		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
 		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
@@ -81,6 +84,15 @@ func runScenarios(args []string) {
 				if *helpFree {
 					spec.HelpFree = true
 				}
+				if *nodes > 0 {
+					spec.Nodes = *nodes
+				}
+				if *pin != "" {
+					spec.PinPolicy = *pin
+				}
+				if *claim != "" {
+					spec.ClaimPolicy = *claim
+				}
 				r, err := harness.RunScenario(spec)
 				if err != nil {
 					fatal(err)
@@ -123,20 +135,32 @@ func runScenarios(args []string) {
 }
 
 // writeScenarioTable renders the grid: throughput and peak unreclaimed
-// garbage per scenario x structure x scheme.
+// garbage per scenario x structure x scheme, with the full collect-
+// pipeline counter set — the same counters the JSON path carries, so
+// neither output is the poor relation.
 func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires")
+	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tnodes\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires\thelp-sorted\thelp-swept\tlocal-claims\tremote-claims\tremote-fills")
 	for _, r := range results {
-		collectCyc, dblRetires := int64(0), uint64(0)
+		var collectCyc int64
+		var dblRetires, helpSorted, helpSwept, localClaims, remoteClaims uint64
 		if r.Core != nil {
 			collectCyc = r.Core.CollectCycles
 			dblRetires = r.Core.DoubleRetires
+			helpSorted = r.Core.HelpSortedShards
+			helpSwept = r.Core.HelpSweptShards
+			localClaims = r.Core.LocalShardClaims
+			remoteClaims = r.Core.RemoteShardClaims
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, r.Ops, r.Throughput,
+		nodes := r.Nodes
+		if nodes == 0 {
+			nodes = 1
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, nodes, r.Ops, r.Throughput,
 			r.Footprint.PeakRetiredNodes, r.Footprint.PeakRetiredWords,
-			r.Footprint.FinalRetiredNodes, r.ChurnWorkers, collectCyc, dblRetires)
+			r.Footprint.FinalRetiredNodes, r.ChurnWorkers, collectCyc, dblRetires,
+			helpSorted, helpSwept, localClaims, remoteClaims, r.Sim.RemoteLineFills)
 	}
 	tw.Flush()
 }

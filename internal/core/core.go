@@ -74,6 +74,33 @@ func (k LookupKind) String() string {
 	}
 }
 
+// ClaimPolicy selects the order in which threads claim shard work
+// units — sort claims in the scan handler, sweep-list claims under
+// HelpFree — when the simulated machine has more than one NUMA node.
+type ClaimPolicy int
+
+const (
+	// ClaimAffinity (the default) claims local work first: shards
+	// homed on the claiming thread's node, then remote shards as a
+	// work-stealing fallback so no unit waits on an idle node and the
+	// help protocol keeps its wait-free-ish progress.
+	ClaimAffinity ClaimPolicy = iota
+	// ClaimRoundRobin ignores topology and claims in index order —
+	// the pre-topology behaviour, kept as the A6 ablation's control.
+	ClaimRoundRobin
+)
+
+func (p ClaimPolicy) String() string {
+	switch p {
+	case ClaimAffinity:
+		return "affinity"
+	case ClaimRoundRobin:
+		return "rr"
+	default:
+		return fmt.Sprintf("ClaimPolicy(%d)", int(p))
+	}
+}
+
 // Config parameterizes a ThreadScan instance.
 type Config struct {
 	// BufferSize is the per-thread delete buffer capacity.  Defaults to
@@ -111,6 +138,11 @@ type Config struct {
 	// HelpFreeChunk caps how many queued nodes one scanner frees per
 	// TS-Scan when HelpFree is on.  Defaults to 128.
 	HelpFreeChunk int
+
+	// Claim is the shard-claim order under a multi-node topology.
+	// Irrelevant (and free of any effect on cycle charges) when the
+	// simulation has a single node.
+	Claim ClaimPolicy
 }
 
 func (c *Config) fill() {
@@ -143,6 +175,13 @@ type Stats struct {
 	HelpSortedShards  uint64 // shards prepared by scanners, not the reclaimer
 	HelpSweptShards   uint64 // per-shard free lists claimed by scanners
 
+	// Claim locality under a multi-node topology (zero when flat).
+	// Every claim of a shard work unit — a prepare (sort) claim or a
+	// HelpFree sweep-list claim — counts as local when the claiming
+	// thread's node matches the shard's home, else remote.
+	LocalShardClaims  uint64
+	RemoteShardClaims uint64
+
 	HandlerCycles int64 // virtual cycles spent inside scan handlers
 	CollectCycles int64 // virtual cycles spent inside TS-Collect
 }
@@ -174,17 +213,35 @@ type ThreadScan struct {
 	// watermark and turn every subsequent Free into a futile collect.
 	ringCount int
 
+	// nodes caches sim.Nodes(); 1 disables every topology code path.
+	nodes int
+
 	orphans []uint64 // buffered nodes of exited threads
+	// orphanHome attributes each orphan to the NUMA node of the thread
+	// that parked it, in lockstep with orphans.  Nil when flat.
+	orphanHome []int8
 
 	// HelpFree state.  pendingFree/helpQueue is the classic single
 	// chunked queue (Shards <= 1); pendingShards/helpShards hold whole
-	// per-shard free lists scanners claim under the sharded pipeline.
+	// per-shard free lists — each tagged with its shard's home node —
+	// that scanners claim under the sharded pipeline.
 	pendingFree   []uint64
 	helpQueue     []uint64
-	pendingShards [][]uint64
-	helpShards    [][]uint64
+	pendingShards []freeList
+	helpShards    []freeList
 
 	stats Stats
+}
+
+// freeList is one claimable sweep unit: the unmarked nodes of one
+// shard, tagged with the shard's home node so claimers can prefer
+// sweeping locally-homed lines.  claimed marks that the unit has been
+// counted in the claim-locality stats, so a chunk-bounded remainder
+// re-appended for the next helper is not counted again.
+type freeList struct {
+	addrs   []uint64
+	home    int
+	claimed bool
 }
 
 // tsThread is the per-thread state.
@@ -201,7 +258,8 @@ func New(sim *simt.Sim, cfg Config) *ThreadScan {
 		sim:    sim,
 		cfg:    cfg,
 		lock:   sim.NewMutex("threadscan.reclaim"),
-		shards: newShardSet(cfg.Shards),
+		shards: newShardSet(cfg.Shards, sim.Nodes()),
+		nodes:  sim.Nodes(),
 	}
 	sim.SetSignalHandler(cfg.Signal, ts.scanHandler)
 	sim.OnThreadStart(ts.threadStart)
@@ -242,6 +300,12 @@ func (ts *ThreadScan) threadExit(t *simt.Thread) {
 	ts.registered[id] = false
 	var n int
 	ts.orphans, n = ts.perThread[id].ring.Drain(ts.orphans)
+	if ts.nodes > 1 {
+		node := int8(t.Node())
+		for i := 0; i < n; i++ {
+			ts.orphanHome = append(ts.orphanHome, node)
+		}
+	}
 	t.Charge(int64(n) * ts.costs().Load)
 	ts.lock.Unlock(t)
 }
@@ -294,9 +358,18 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 		// The collect re-buffered more marked (still-referenced) nodes
 		// than the ring holds; park the newcomer with the orphans, the
 		// next master buffer includes both.
-		ts.orphans = append(ts.orphans, addr)
+		ts.parkOrphan(t, addr)
 	}
 	ts.lock.Unlock(t)
+}
+
+// parkOrphan appends addr to the orphan list, attributed to the NUMA
+// node of the parking thread for shard-home election.
+func (ts *ThreadScan) parkOrphan(t *simt.Thread, addr uint64) {
+	ts.orphans = append(ts.orphans, addr)
+	if ts.nodes > 1 {
+		ts.orphanHome = append(ts.orphanHome, int8(t.Node()))
+	}
 }
 
 // Collect forces a reclamation phase from thread t, regardless of
@@ -352,10 +425,10 @@ func (ts *ThreadScan) RegisteredThreads() int {
 func (ts *ThreadScan) Buffered() int {
 	n := len(ts.orphans) + len(ts.pendingFree) + len(ts.helpQueue)
 	for _, list := range ts.pendingShards {
-		n += len(list)
+		n += len(list.addrs)
 	}
 	for _, list := range ts.helpShards {
-		n += len(list)
+		n += len(list.addrs)
 	}
 	for _, tt := range ts.perThread {
 		if tt != nil {
@@ -384,7 +457,7 @@ func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
 		}
 		ts.pendingFree = ts.pendingFree[:0]
 		for _, list := range ts.pendingShards {
-			for _, addr := range list {
+			for _, addr := range list.addrs {
 				ts.freeNode(t, addr)
 			}
 		}
@@ -421,21 +494,34 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 	// Aggregate all delete buffers into the sharded master buffer
 	// (§4.2's distributed-buffer design).  K=1 drains straight into
 	// the single shard — no routing, no staging copy on the hot path.
+	// Each drained address votes for the NUMA node of the thread that
+	// buffered it (the ring owner's node at drain time — exact for
+	// pinned threads, the retirer's last node otherwise), electing
+	// every shard's home for the affinity-first claim order.
 	ts.shards.reset()
 	k1 := ts.shards.k() == 1
+	multiNode := ts.nodes > 1
+	threads := ts.sim.Threads()
 	for id, tt := range ts.perThread {
 		if tt == nil || !ts.registered[id] {
 			continue
+		}
+		node := 0
+		if multiNode {
+			node = threads[id].Node()
 		}
 		var n int
 		if k1 {
 			sh := &ts.shards.sub[0]
 			sh.buf, n = tt.ring.Drain(sh.buf)
 			ts.shards.total += n
+			if multiNode {
+				sh.votes[node] += uint32(n)
+			}
 		} else {
 			ts.scratch, n = tt.ring.Drain(ts.scratch[:0])
 			for _, a := range ts.scratch {
-				ts.shards.add(a)
+				ts.shards.add(a, node)
 			}
 		}
 		t.Charge(int64(n) * (c.Load + c.Step))
@@ -445,14 +531,25 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 			sh := &ts.shards.sub[0]
 			sh.buf = append(sh.buf, ts.orphans...)
 			ts.shards.total += len(ts.orphans)
+			if multiNode {
+				for _, h := range ts.orphanHome {
+					sh.votes[h]++
+				}
+			}
 		} else {
-			for _, a := range ts.orphans {
-				ts.shards.add(a)
+			for i, a := range ts.orphans {
+				node := 0
+				if multiNode {
+					node = int(ts.orphanHome[i])
+				}
+				ts.shards.add(a, node)
 			}
 		}
 		t.Charge(int64(len(ts.orphans)) * (c.Load + c.Step))
 		ts.orphans = ts.orphans[:0]
+		ts.orphanHome = ts.orphanHome[:0]
 	}
+	ts.shards.computeHomes()
 	ts.ringCount = 0
 	if ts.shards.total == 0 {
 		// Nothing new to scan, but outstanding HelpFree work deferred
@@ -512,7 +609,7 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 			if sh.marks[i] {
 				ts.stats.Remarked++
 				if !tt.ring.Push(addr) {
-					ts.orphans = append(ts.orphans, addr)
+					ts.parkOrphan(t, addr)
 				}
 				t.Charge(c.Store)
 				continue
@@ -529,7 +626,7 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 			t.Charge(c.Store)
 		}
 		if len(deferred) > 0 {
-			ts.pendingShards = append(ts.pendingShards, deferred)
+			ts.pendingShards = append(ts.pendingShards, freeList{addrs: deferred, home: sh.home})
 		}
 	}
 	// Whatever this phase's scanners did not help-free, the reclaimer
@@ -621,8 +718,32 @@ func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
 	return true
 }
 
-// freeNode returns a proven-unreferenced node to the allocator.
+// countClaim records the locality of one *voluntary* help-protocol
+// claim — a helpSort prepare or a helpFree sweep-list claim — against
+// the claiming thread's node.  Forced prepares (probe-on-demand, the
+// reclaimer's post-ACK mop-up) are not counted: the counters measure
+// what the claim policy chose, not what the protocol compelled.  Pure
+// bookkeeping — no cycle charge, and a no-op on the flat machine.
+func (ts *ThreadScan) countClaim(t *simt.Thread, home int) {
+	if ts.nodes <= 1 {
+		return
+	}
+	if t.Node() == home {
+		ts.stats.LocalShardClaims++
+	} else {
+		ts.stats.RemoteShardClaims++
+	}
+}
+
+// freeNode returns a proven-unreferenced node to the allocator.  On a
+// multi-node machine the free touches the block's line (poisoning and
+// free-list relinking are stores), so sweeping a remotely-owned node
+// pays the interconnect hop — the traffic the affinity-first claim
+// order exists to avoid.
 func (ts *ThreadScan) freeNode(t *simt.Thread, addr uint64) {
+	if ts.nodes > 1 {
+		t.Touch(addr)
+	}
 	t.FreeAddr(addr)
 	ts.stats.Reclaimed++
 }
@@ -641,7 +762,7 @@ func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 	lists := ts.helpShards
 	ts.helpShards = nil
 	for _, list := range lists {
-		for _, addr := range list {
+		for _, addr := range list.addrs {
 			ts.freeNode(t, addr)
 		}
 	}
@@ -672,8 +793,33 @@ func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 // work the paper serializes on the reclaimer.  Probing prepares further
 // shards on demand; bounding the claim keeps one early scanner from
 // hogging the whole pipeline inside a single quantum.
+//
+// Under ClaimAffinity on a multi-node machine the share is claimed
+// local-first: shards homed on the scanner's node before remote ones,
+// so sort work lands on the socket whose threads retired the
+// addresses.  The remote pass is the work-stealing fallback — a
+// scanner with no local work left still helps, so the protocol's
+// progress guarantee is untouched; only the claim *order* changes.
 func (ts *ThreadScan) helpSort(t *simt.Thread) {
 	share := len(ts.shards.sub)/(ts.acksNeed+1) + 1
+	if ts.nodes > 1 && ts.cfg.Claim == ClaimAffinity {
+		my := t.Node()
+		for pass := 0; pass < 2; pass++ {
+			local := pass == 0
+			for i := range ts.shards.sub {
+				if share == 0 {
+					return
+				}
+				sh := &ts.shards.sub[i]
+				if (sh.home == my) == local && !sh.ready && len(sh.buf) > 0 {
+					ts.prepareShard(t, i)
+					ts.countClaim(t, sh.home)
+					share--
+				}
+			}
+		}
+		return
+	}
 	for i := range ts.shards.sub {
 		if share == 0 {
 			return
@@ -681,6 +827,7 @@ func (ts *ThreadScan) helpSort(t *simt.Thread) {
 		sh := &ts.shards.sub[i]
 		if !sh.ready && len(sh.buf) > 0 {
 			ts.prepareShard(t, i)
+			ts.countClaim(t, sh.home)
 			share--
 		}
 	}
@@ -690,8 +837,18 @@ func (ts *ThreadScan) helpSort(t *simt.Thread) {
 // phase's unmarked nodes (§7 future work): from a claimed per-shard
 // list under the sharded pipeline, else from the chunked queue.  Safe
 // for any thread: queued nodes are already proven unreferenced.
+//
+// Under ClaimAffinity a scanner only claims sweep lists homed on its
+// own node: freeing a node touches its line (the allocator poisons
+// and relinks it), so sweeping a remote list would drag every freed
+// line across the interconnect — strictly worse than leaving the list
+// to a home-node scanner or to the reclaimer's end-of-phase drain,
+// which finishes whatever no scanner claimed, on the same phase.
+// That drain is the progress fallback; the claim policy only decides
+// who sweeps sooner, never whether the memory is reclaimed.
 func (ts *ThreadScan) helpFree(t *simt.Thread) {
 	n := ts.cfg.HelpFreeChunk
+	affinity := ts.nodes > 1 && ts.cfg.Claim == ClaimAffinity
 	for n > 0 && len(ts.helpShards) > 0 {
 		// Claim a whole list before freeing (FreeAddr passes
 		// safepoints, and no other helper — or the reclaimer's drain —
@@ -699,21 +856,41 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 		// one chunk: an oversized remainder goes back for the next
 		// helper, preserving the bounded-handler-latency trade
 		// HelpFreeChunk exists for.
-		last := len(ts.helpShards) - 1
-		list := ts.helpShards[last]
-		ts.helpShards = ts.helpShards[:last]
+		pick := len(ts.helpShards) - 1
+		if affinity {
+			my := t.Node()
+			pick = -1
+			for i := len(ts.helpShards) - 1; i >= 0; i-- {
+				if ts.helpShards[i].home == my {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				break // no local list; leave remote ones to their node
+			}
+		}
+		list := ts.helpShards[pick]
+		ts.helpShards = append(ts.helpShards[:pick], ts.helpShards[pick+1:]...)
+		if !list.claimed {
+			list.claimed = true
+			ts.countClaim(t, list.home) // once per work unit, at first claim
+		}
 		take := n
-		if take > len(list) {
-			take = len(list)
+		if take > len(list.addrs) {
+			take = len(list.addrs)
 		}
 		for i := 0; i < take; i++ {
-			addr := list[len(list)-1]
-			list = list[:len(list)-1]
+			addr := list.addrs[len(list.addrs)-1]
+			list.addrs = list.addrs[:len(list.addrs)-1]
+			if ts.nodes > 1 {
+				t.Touch(addr)
+			}
 			t.FreeAddr(addr)
 			ts.stats.HelpFreed++
 		}
 		n -= take
-		if len(list) > 0 {
+		if len(list.addrs) > 0 {
 			ts.helpShards = append(ts.helpShards, list)
 		} else {
 			ts.stats.HelpSweptShards++
@@ -727,6 +904,9 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 		// scanner (or the reclaimer's drain) must not see this entry.
 		addr := ts.helpQueue[len(ts.helpQueue)-1]
 		ts.helpQueue = ts.helpQueue[:len(ts.helpQueue)-1]
+		if ts.nodes > 1 {
+			t.Touch(addr)
+		}
 		t.FreeAddr(addr)
 		ts.stats.HelpFreed++
 	}

@@ -65,14 +65,14 @@ func TestQuickLookupKindsEquivalent(t *testing.T) {
 // with each one findable in (only) its routed shard.
 func TestQuickShardRoutePartition(t *testing.T) {
 	f := func(kRaw uint8, addrsRaw []uint32) bool {
-		set := newShardSet(int(kRaw)%32 + 1)
+		set := newShardSet(int(kRaw)%32+1, 1)
 		for _, raw := range addrsRaw {
 			addr := uint64(raw) &^ 7
 			i := set.route(addr)
 			if i < 0 || i >= set.k() || i != set.route(addr) {
 				return false
 			}
-			set.add(addr)
+			set.add(addr, 0)
 		}
 		if set.total != len(addrsRaw) {
 			return false

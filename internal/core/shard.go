@@ -22,8 +22,16 @@ import "sort"
 //
 // K = 1 degenerates to the paper's single master buffer, bit-identical
 // in virtual-cycle charges to the unsharded protocol.
+//
+// Under a multi-node topology (simt Config.Nodes > 1) each shard also
+// carries a *home node*: the NUMA node whose threads retired the
+// plurality of its addresses this phase.  Claiming a shard homed on
+// one's own node means sorting and sweeping cache-warm, locally-homed
+// lines; the affinity-first claim order (ClaimAffinity) exists to make
+// that the common case.
 type shardSet struct {
 	shift uint // 64 - log2(K); route() uses a Fibonacci multiplicative hash
+	nodes int  // NUMA nodes of the owning simulation (1 = flat)
 	total int  // nodes added since the last reset
 	sub   []shard
 }
@@ -34,13 +42,19 @@ type shard struct {
 	marks []bool         // [i] set when buf[i] was seen by a scan
 	hash  map[uint64]int // LookupHash membership (addr -> index in buf)
 	ready bool           // prepared (sorted/hashed, deduped, marks sized)
+	votes []uint32       // per-node retire attribution (nil when flat)
+	home  int            // plurality node of votes; fixed after computeHomes
 }
 
 // newShardSet creates a set of k shards; k is rounded up to a power of
-// two (minimum 1) so routing is a cheap multiply-and-shift.
-func newShardSet(k int) *shardSet {
+// two (minimum 1) so routing is a cheap multiply-and-shift.  nodes is
+// the machine's NUMA node count; votes are only kept when it exceeds 1.
+func newShardSet(k, nodes int) *shardSet {
 	if k < 1 {
 		k = 1
+	}
+	if nodes < 1 {
+		nodes = 1
 	}
 	pow := 1
 	sh := uint(64)
@@ -48,7 +62,13 @@ func newShardSet(k int) *shardSet {
 		pow <<= 1
 		sh--
 	}
-	return &shardSet{shift: sh, sub: make([]shard, pow)}
+	s := &shardSet{shift: sh, nodes: nodes, sub: make([]shard, pow)}
+	if nodes > 1 {
+		for i := range s.sub {
+			s.sub[i].votes = make([]uint32, nodes)
+		}
+	}
+	return s
 }
 
 // k returns the shard count.
@@ -65,11 +85,36 @@ func (s *shardSet) route(addr uint64) int {
 	return int((addr >> 3) * 0x9E3779B97F4A7C15 >> s.shift)
 }
 
-// add appends addr to its shard.  Caller charges aggregation cost.
-func (s *shardSet) add(addr uint64) {
+// add appends addr to its shard, attributing the retire to node for
+// home election.  Caller charges aggregation cost.
+func (s *shardSet) add(addr uint64, node int) {
 	sh := &s.sub[s.route(addr)]
 	sh.buf = append(sh.buf, addr)
+	if sh.votes != nil {
+		sh.votes[node]++
+	}
 	s.total++
+}
+
+// computeHomes elects each shard's home node: the node that retired
+// the plurality of its addresses this phase (ties to the lower node
+// index, so election is deterministic).  Empty shards stay homed on
+// node 0; they hold no work to claim.  Bookkeeping only — charges
+// nothing, so the flat machine's cycle charges are untouched.
+func (s *shardSet) computeHomes() {
+	if s.nodes <= 1 {
+		return
+	}
+	for i := range s.sub {
+		sh := &s.sub[i]
+		best := 0
+		for n := 1; n < s.nodes; n++ {
+			if sh.votes[n] > sh.votes[best] {
+				best = n
+			}
+		}
+		sh.home = best
+	}
 }
 
 // reset empties every shard for the next collect, retaining capacity.
@@ -77,6 +122,10 @@ func (s *shardSet) reset() {
 	for i := range s.sub {
 		s.sub[i].buf = s.sub[i].buf[:0]
 		s.sub[i].ready = false
+		s.sub[i].home = 0
+		for n := range s.sub[i].votes {
+			s.sub[i].votes[n] = 0
+		}
 	}
 	s.total = 0
 }

@@ -241,6 +241,86 @@ func WriteShardTable(w io.Writer, rows []ShardRow) error {
 	return tw.Flush()
 }
 
+// NUMARow is one point of the topology ablation (A6): one scenario run
+// under one shard-claim policy on a two-node machine.
+type NUMARow struct {
+	Scenario string
+	Claim    string
+	Result   ScenarioResult
+}
+
+// AblationNUMA contrasts affinity-first against round-robin shard
+// claiming on the NUMA scenarios (default numa-split, the worst-case
+// cross-socket retirement shape, with numa-balanced as its control).
+// SweepParams pass through as in AblationShards: Duration normalizes
+// against the 50ms CLI default, Seed and Quantum apply directly; Cores
+// is ignored (the scenarios fix their own core/node geometry).
+func AblationNUMA(scenarioNames []string, p SweepParams) ([]NUMARow, error) {
+	if len(scenarioNames) == 0 {
+		scenarioNames = []string{"numa-split", "numa-balanced"}
+	}
+	var rows []NUMARow
+	for _, name := range scenarioNames {
+		base, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scenario %q", name)
+		}
+		if p.Duration > 0 {
+			base = base.Scale(float64(p.Duration) / 50_000_000)
+		}
+		base.DS = "stack"
+		base.Scheme = "threadscan"
+		if p.Seed != 0 {
+			base.Seed = p.Seed
+		}
+		if p.Quantum > 0 {
+			base.Quantum = p.Quantum
+		}
+		// A flat or unsharded scenario would make the claim-policy
+		// contrast vacuous (ClaimPolicy only acts when nodes > 1 and
+		// K > 1), so non-NUMA scenarios passed via -ablation-scenario
+		// are lifted onto a pinned two-node machine with a sharded,
+		// help-swept pipeline.
+		if base.Nodes < 2 {
+			base.Nodes = 2
+		}
+		if base.PinPolicy == "" || base.PinPolicy == "none" {
+			base.PinPolicy = "rr"
+		}
+		if base.Shards <= 1 {
+			base.Shards = 8
+			base.HelpFree = true
+		}
+		for _, claim := range []string{"affinity", "rr"} {
+			spec := base
+			spec.ClaimPolicy = claim
+			r, err := RunScenario(spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, NUMARow{Scenario: name, Claim: claim, Result: r})
+		}
+	}
+	return rows, nil
+}
+
+// WriteNUMATable renders the A6 ablation: claim locality, cross-node
+// memory traffic, and throughput per scenario and claim policy.
+func WriteNUMATable(w io.Writer, rows []NUMARow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A6: NUMA shard affinity (stack/threadscan)")
+	fmt.Fprintln(tw, "scenario\tclaim\tthroughput\tcollects\tlocal_claims\tremote_claims\tremote_fills\thelp_sorted\thelp_swept")
+	for _, row := range rows {
+		c := row.Result.Core
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Scenario, row.Claim, row.Result.Throughput,
+			c.Collects, c.LocalShardClaims, c.RemoteShardClaims,
+			row.Result.Sim.RemoteLineFills,
+			c.HelpSortedShards, c.HelpSweptShards)
+	}
+	return tw.Flush()
+}
+
 // StallRow is one point of the errant-thread experiment (A4): the same
 // application stall under Epoch vs ThreadScan.
 type StallRow struct {

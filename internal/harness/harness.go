@@ -32,6 +32,7 @@ type Config struct {
 
 	Threads int
 	Cores   int
+	Nodes   int // NUMA nodes (0/1 = flat machine)
 
 	// Duration is the measured phase's virtual wall-clock window in
 	// cycles (1e9 cycles = 1 virtual second at the default Hz).  Each
@@ -51,15 +52,16 @@ type Config struct {
 	Buckets   int // hash; 0 = KeyRange/32 (paper: expected bucket 32)
 
 	// Scheme parameters.
-	BufferSize  int             // threadscan delete buffer; 0 = 1024
-	HelpFree    bool            // threadscan §7 extension
-	Shards      int             // threadscan collect shards K; 0 = 1 (serial)
-	Watermark   int             // threadscan global collect watermark; 0 = off
-	Lookup      core.LookupKind // threadscan scan lookup (ablation A3)
-	Batch       int             // hazard/epoch/stacktrack batch; 0 = 1024
-	SlowDelay   int64           // slow-epoch cleanup stall; 0 = 40ms
-	DelayVictim int             // slow-epoch errant thread id; 0 = thread 0
-	SegmentLen  int             // stacktrack segment; 0 = 16
+	BufferSize  int              // threadscan delete buffer; 0 = 1024
+	HelpFree    bool             // threadscan §7 extension
+	Shards      int              // threadscan collect shards K; 0 = 1 (serial)
+	Watermark   int              // threadscan global collect watermark; 0 = off
+	Claim       core.ClaimPolicy // threadscan shard-claim order (NUMA ablation A6)
+	Lookup      core.LookupKind  // threadscan scan lookup (ablation A3)
+	Batch       int              // hazard/epoch/stacktrack batch; 0 = 1024
+	SlowDelay   int64            // slow-epoch cleanup stall; 0 = 40ms
+	DelayVictim int              // slow-epoch errant thread id; 0 = thread 0
+	SegmentLen  int              // stacktrack segment; 0 = 16
 
 	// Errant-thread injection (ablation A4): thread 0 executes one
 	// empty operation stalled for StallCycles every StallEvery ops.
@@ -177,7 +179,7 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 	case "threadscan":
 		ts := reclaim.NewThreadScan(sim, core.Config{
 			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
-			Shards: cfg.Shards, CollectWatermark: cfg.Watermark})
+			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim})
 		return ts, ts.Core(), nil
 	case "stacktrack":
 		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{
@@ -206,6 +208,7 @@ func Run(cfg Config) (Result, error) {
 	cfg.fill()
 	sim := simt.New(simt.Config{
 		Cores:      cfg.Cores,
+		Nodes:      cfg.Nodes,
 		Quantum:    cfg.Quantum,
 		Seed:       cfg.Seed,
 		Hz:         cfg.Hz,

@@ -29,6 +29,10 @@ type ScenarioResult struct {
 	Threads int `json:"threads"` // persistent workers
 	Cores   int `json:"cores"`
 
+	// Topology of the run (1/"" = flat machine, no pinning).
+	Nodes     int    `json:"nodes,omitempty"`
+	PinPolicy string `json:"pin_policy,omitempty"`
+
 	Ops            uint64  `json:"ops"`
 	ElapsedCycles  int64   `json:"elapsed_cycles"`
 	VirtualSeconds float64 `json:"virtual_seconds"`
@@ -56,6 +60,7 @@ type ScenarioResult struct {
 
 	SchemeStats reclaim.Stats `json:"scheme_stats"`
 	Core        *core.Stats   `json:"threadscan_stats,omitempty"`
+	Sim         simt.SimStats `json:"sim_stats"`
 
 	WallTime time.Duration `json:"-"`
 }
@@ -131,7 +136,14 @@ func scenarioHeapWords(spec *workload.Scenario, nodeWords int) int {
 	}
 	var allocNodes64 int64
 	for _, p := range spec.Phases {
+		// A worker-group mix override can be more insert-heavy than
+		// the phase mix; size for the hungriest group.
 		i := int64(p.Mix.InsertPct)
+		for _, m := range spec.WorkerMix {
+			if int64(m.InsertPct) > i {
+				i = int64(m.InsertPct)
+			}
+		}
 		if i == 0 {
 			continue
 		}
@@ -176,7 +188,8 @@ type scenarioRun struct {
 
 	startAt  map[int]int64 // thread id -> measured-phase start
 	finishAt map[int]int64
-	traces   map[int]uint64 // thread id -> op-trace digest
+	traces   map[int]uint64        // thread id -> op-trace digest
+	mixOf    map[int]*workload.Mix // thread id -> role-group mix override (nil = phase mix)
 
 	sampler *footprintSampler
 }
@@ -187,6 +200,7 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 	rng := th.RNG()
 	tr := workload.NewTrace()
 	phase := 0
+	override := r.mixOf[th.ID()]
 	gen := workload.NewKeyGen(r.spec.Phases[0].Dist, r.spec.KeyRange, rng)
 	for th.Now() < deadline {
 		for phase < len(r.spec.Phases)-1 && th.Now() >= base+r.phaseEnd[phase] {
@@ -203,7 +217,11 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 			frac = 0.999999 // oversubscribed final-phase overhang
 		}
 		key := gen.Key(frac)
-		op := p.Mix.Pick(rng.Intn(100))
+		mix := p.Mix
+		if override != nil {
+			mix = *override
+		}
+		op := mix.Pick(rng.Intn(100))
 		ok := r.target.Apply(th, op, key)
 		tr.Record(op, key, ok)
 		th.AddOps(1)
@@ -239,6 +257,10 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 	// remaining Config fields only feed defaults it fills itself.
 	// Slow-epoch's errant victim is the first worker (thread 1 — the
 	// sampler occupies id 0).
+	claim := core.ClaimAffinity
+	if spec.ClaimPolicy == "rr" {
+		claim = core.ClaimRoundRobin
+	}
 	schemeCfg := Config{
 		Scheme:      spec.Scheme,
 		BufferSize:  spec.BufferSize,
@@ -246,6 +268,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		Shards:      spec.Shards,
 		Watermark:   spec.Watermark,
 		HelpFree:    spec.HelpFree,
+		Claim:       claim,
 		DelayVictim: 1,
 	}
 	schemeCfg.fill()
@@ -257,6 +280,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 
 	sim := simt.New(simt.Config{
 		Cores:      spec.Cores,
+		Nodes:      spec.Nodes,
 		Quantum:    quantum,
 		Seed:       spec.Seed,
 		StackWords: 256,
@@ -281,6 +305,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		startAt:  make(map[int]int64),
 		finishAt: make(map[int]int64),
 		traces:   make(map[int]uint64),
+		mixOf:    make(map[int]*workload.Mix),
 		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
 	}
 	var cum int64
@@ -307,7 +332,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 
 	for i := 0; i < nT; i++ {
 		i := i
-		sim.Spawn(fmt.Sprintf("w%d", i), func(th *simt.Thread) {
+		th := sim.Spawn(fmt.Sprintf("w%d", i), func(th *simt.Thread) {
 			for k := i; k < spec.Prefill; k += nT {
 				key := ds.MinKey + uint64(k)*spec.KeyRange/uint64(spec.Prefill)
 				r.target.Apply(th, workload.OpInsert, key)
@@ -329,6 +354,12 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 				r.sampler.stop = true
 			}
 		})
+		if node := spec.WorkerNode(i); node >= 0 {
+			th.Pin(node)
+		}
+		if m := spec.WorkerGroupMix(i); m != nil {
+			r.mixOf[th.ID()] = m
+		}
 	}
 
 	if spec.Churn != nil {
@@ -336,6 +367,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		sim.Spawn("churn-ctl", func(th *simt.Thread) {
 			startBar.Await(th)
 			start := th.Now()
+			spawned := 0
 			for g := 0; g < ch.Generations; g++ {
 				for at := start + ch.Start(g); th.Now() < at; {
 					th.Sleep(at - th.Now()) // re-sleep across EINTR
@@ -343,7 +375,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 				for j := 0; j < ch.Workers; j++ {
 					r.mutators++
 					name := fmt.Sprintf("churn%d.%d", g, j)
-					sim.SpawnFrom(th, name, func(w *simt.Thread) {
+					w := sim.SpawnFrom(th, name, func(w *simt.Thread) {
 						end := w.Now() + ch.Life
 						if max := start + total; end > max {
 							end = max
@@ -352,6 +384,13 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 						r.retire(w)
 						r.churned++
 					})
+					// Churn workers populate every node in turn under
+					// either pinning policy (the controller itself is
+					// unpinned, so they'd otherwise inherit no mask).
+					if spec.PinPolicy == "rr" || spec.PinPolicy == "split" {
+						w.Pin(spawned % spec.Nodes)
+					}
+					spawned++
 				}
 			}
 			r.spawningDone = true
@@ -373,10 +412,13 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		Scheme:              spec.Scheme,
 		Threads:             spec.Threads,
 		Cores:               spec.Cores,
+		Nodes:               spec.Nodes,
+		PinPolicy:           spec.PinPolicy,
 		ChurnWorkers:        r.churned,
 		LeakedRegistrations: -1,
 		Footprint:           r.sampler.fp,
 		SchemeStats:         sc.Stats(),
+		Sim:                 sim.Stats(),
 		FinalSize:           target.Size(),
 		WallTime:            time.Since(wallStart),
 	}

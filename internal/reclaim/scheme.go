@@ -102,6 +102,12 @@ type Stats struct {
 	HelpSorted    uint64 // shards sorted inside scanner handlers
 	HelpSwept     uint64 // per-shard free lists swept by scanners
 	DoubleRetires uint64 // duplicate retires of one address absorbed
+
+	// NUMA shard-affinity counters (ThreadScan on a multi-node
+	// topology; zero elsewhere and on the flat machine).
+	LocalShardClaims  uint64 // shard work units claimed on their home node
+	RemoteShardClaims uint64 // shard work units claimed cross-node
+	RemoteLineFills   uint64 // machine-wide cross-node line fills (sim stat)
 }
 
 // maxThreadID sizes per-thread state arrays.  Schemes grow their

@@ -12,12 +12,13 @@ import (
 // automatic" interface of §1.2.
 type ThreadScan struct {
 	ts    *core.ThreadScan
+	sim   *simt.Sim
 	stats Stats
 }
 
 // NewThreadScan creates a ThreadScan domain bound to sim.
 func NewThreadScan(sim *simt.Sim, cfg core.Config) *ThreadScan {
-	return &ThreadScan{ts: core.New(sim, cfg)}
+	return &ThreadScan{ts: core.New(sim, cfg), sim: sim}
 }
 
 // Core exposes the underlying protocol instance (stats, heap-block
@@ -56,14 +57,17 @@ func (s *ThreadScan) Flush(t *simt.Thread) int {
 func (s *ThreadScan) Stats() Stats {
 	c := s.ts.Stats()
 	return Stats{
-		Retired:       c.Frees,
-		Freed:         c.Reclaimed + c.HelpFreed + c.DoubleRetires,
-		Pending:       uint64(s.ts.Buffered()),
-		ReclaimPasses: c.Collects,
-		Shards:        s.ts.Shards(),
-		ShardsSorted:  c.ShardsSorted,
-		HelpSorted:    c.HelpSortedShards,
-		HelpSwept:     c.HelpSweptShards,
-		DoubleRetires: c.DoubleRetires,
+		Retired:           c.Frees,
+		Freed:             c.Reclaimed + c.HelpFreed + c.DoubleRetires,
+		Pending:           uint64(s.ts.Buffered()),
+		ReclaimPasses:     c.Collects,
+		Shards:            s.ts.Shards(),
+		ShardsSorted:      c.ShardsSorted,
+		HelpSorted:        c.HelpSortedShards,
+		HelpSwept:         c.HelpSweptShards,
+		DoubleRetires:     c.DoubleRetires,
+		LocalShardClaims:  c.LocalShardClaims,
+		RemoteShardClaims: c.RemoteShardClaims,
+		RemoteLineFills:   s.sim.Stats().RemoteLineFills,
 	}
 }

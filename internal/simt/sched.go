@@ -32,6 +32,10 @@ type Sim struct {
 	coreLast []int   // per-core: last thread id dispatched (-1 none)
 	caches   []coreCache
 
+	topo     topology
+	lineHome []int8 // per-arena-line home node (-1 unassigned); nil when Nodes == 1
+	lineBase int    // arena base address >> lineShift
+
 	yieldCh chan *Thread
 
 	handlers   [MaxSignals]func(*Thread, SigNum)
@@ -50,6 +54,12 @@ type SimStats struct {
 	SignalsSent      uint64
 	SignalsDelivered uint64
 	Wakeups          uint64
+
+	// NUMA memory traffic (zero when Nodes == 1).  A "fill" is a
+	// memory access that reached the line's home node: a modeled cache
+	// miss when CacheSim is on, every access otherwise.
+	LocalLineFills  uint64 `json:"local_line_fills,omitempty"`
+	RemoteLineFills uint64 `json:"remote_line_fills,omitempty"`
 }
 
 // New creates a simulation from cfg.
@@ -65,6 +75,16 @@ func New(cfg Config) *Sim {
 	}
 	for i := range s.coreLast {
 		s.coreLast[i] = -1
+	}
+	s.topo = newTopology(cfg.Nodes, cfg.Cores)
+	if s.topo.nodes > 1 {
+		base := s.heap.Base() >> lineShift
+		lines := int((s.heap.Limit()-1)>>lineShift-base) + 1
+		s.lineBase = int(base)
+		s.lineHome = make([]int8, lines)
+		for i := range s.lineHome {
+			s.lineHome[i] = -1
+		}
 	}
 	if cfg.CacheSim {
 		s.caches = make([]coreCache, cfg.Cores)
@@ -135,7 +155,11 @@ func (s *Sim) Spawn(name string, body func(*Thread)) *Thread {
 // Spawn.  Must not be called after Run has returned.
 func (s *Sim) SpawnFrom(parent *Thread, name string, body func(*Thread)) *Thread {
 	if !s.started {
-		return s.Spawn(name, body)
+		t := s.Spawn(name, body)
+		if parent != nil {
+			t.pinned = parent.pinned
+		}
+		return t
 	}
 	if s.done {
 		panic("simt: SpawnFrom after the simulation finished")
@@ -145,6 +169,7 @@ func (s *Sim) SpawnFrom(parent *Thread, name string, body func(*Thread)) *Thread
 	}
 	parent.charge(s.cfg.Costs.ContextSwitch) // thread-creation cost
 	t := s.newThread(name, body)
+	t.pinned = parent.pinned // inherit the CPU mask, like fork
 	t.readyAt = parent.now
 	s.threads = append(s.threads, t)
 	s.live++
@@ -164,6 +189,7 @@ func (s *Sim) newThread(name string, body func(*Thread)) *Thread {
 		resume:   make(chan quantum),
 		stack:    make([]uint64, s.cfg.StackWords),
 		runnable: true,
+		pinned:   -1,
 		rng:      rand.New(rand.NewSource(s.cfg.Seed ^ int64(uint64(len(s.threads)+1)*0x9E3779B97F4A7C15>>1))),
 	}
 }
@@ -246,7 +272,7 @@ func (s *Sim) Run() error {
 			s.done = true
 			return s.deadlock()
 		}
-		core := s.pickCore()
+		core := s.pickCore(t)
 		start := t.readyAt
 		if s.coreFree[core] > start {
 			start = s.coreFree[core]
@@ -323,10 +349,15 @@ func (s *Sim) pickThread() *Thread {
 	return pool[s.rng.Intn(len(pool))]
 }
 
-// pickCore returns the index of the earliest-free core.
-func (s *Sim) pickCore() int {
-	best := 0
-	for i := 1; i < len(s.coreFree); i++ {
+// pickCore returns the index of the earliest-free core the thread may
+// run on: any core when unpinned, the pinned node's block otherwise.
+func (s *Sim) pickCore(t *Thread) int {
+	lo, hi := 0, len(s.coreFree)
+	if t.pinned >= 0 {
+		lo, hi = s.topo.coreRange(t.pinned)
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
 		if s.coreFree[i] < s.coreFree[best] {
 			best = i
 		}

@@ -48,6 +48,14 @@ type Config struct {
 	// are oversubscribed and queue for quanta.  Defaults to 4.
 	Cores int
 
+	// Nodes is the number of NUMA nodes the cores are grouped into
+	// (see topology.go).  Cores split into contiguous near-equal
+	// blocks; heap lines are homed first-touch; cross-node line fills
+	// charge Costs.RemoteFill.  Defaults to 1 — the flat machine,
+	// bit-identical in virtual-cycle charges to the pre-topology
+	// model.  Clamped to Cores.
+	Nodes int
+
 	// Quantum is the scheduling quantum in cycles.  Defaults to 200,000
 	// (200µs at the default 1 GHz virtual clock, the order of Linux
 	// CFS's minimum granularity under load).  The quantum is what makes
@@ -113,6 +121,7 @@ type CostModel struct {
 	Step          int64 // generic instruction (branch, compare)
 	Pause         int64 // one spin-wait iteration
 	MissPenalty   int64 // added to Load/Store/CAS on a modeled cache miss
+	RemoteFill    int64 // added on top when the line's home is a remote NUMA node
 	SignalSend    int64 // sender-side cost of one signal (kernel entry)
 	SignalDeliver int64 // receiver-side handler entry/exit
 	WakeLatency   int64 // wakeup latency for blocked/sleeping threads
@@ -132,6 +141,7 @@ func DefaultCosts() CostModel {
 		Step:          1,
 		Pause:         30,
 		MissPenalty:   150,
+		RemoteFill:    150, // a remote fill costs ~2x a local one (QPI-era ratio)
 		SignalSend:    800,
 		SignalDeliver: 1500,
 		WakeLatency:   2000,
@@ -142,6 +152,12 @@ func DefaultCosts() CostModel {
 func (c *Config) fill() {
 	if c.Cores <= 0 {
 		c.Cores = 4
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Nodes > c.Cores {
+		c.Nodes = c.Cores
 	}
 	if c.Quantum <= 0 {
 		c.Quantum = 200_000

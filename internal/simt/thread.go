@@ -40,6 +40,7 @@ type Thread struct {
 	readyAt    int64
 	wakeAt     int64
 	core       int
+	pinned     int // NUMA node affinity; -1 = any core
 
 	// Scheduling state (owned by the scheduler and the single active
 	// party; no synchronization needed).
@@ -77,6 +78,9 @@ func (t *Thread) Sim() *Sim { return t.sim }
 
 // Now returns the thread's current virtual time in cycles.
 func (t *Thread) Now() int64 { return t.now }
+
+// Core returns the virtual core the thread was last dispatched on.
+func (t *Thread) Core() int { return t.core }
 
 // RNG returns the thread's deterministic random source.
 func (t *Thread) RNG() *rand.Rand { return t.rng }
@@ -293,15 +297,46 @@ func (t *Thread) RootWords() int { return NumRegs + t.sp }
 // reference that is in neither (paper Assumption 1.3).
 
 // memCost returns the cost of an access to addr, consulting the
-// per-core cache model when enabled.
+// per-core cache model when enabled and the NUMA topology when the
+// machine has more than one node.  An access that must reach memory —
+// a modeled cache miss, or any access when the cache model is off —
+// is a line fill; a fill whose home node differs from the accessing
+// core's node additionally pays Costs.RemoteFill (the interconnect
+// hop) and counts in SimStats.RemoteLineFills.
 func (t *Thread) memCost(base int64, addr uint64) int64 {
-	if t.sim.caches == nil {
-		return base
+	fill := true
+	if t.sim.caches != nil {
+		fill = !t.sim.caches[t.core].access(addr)
+		if fill {
+			base += t.sim.cfg.Costs.MissPenalty
+		}
 	}
-	if t.sim.caches[t.core].access(addr) {
-		return base
+	if fill && t.sim.topo.nodes > 1 {
+		node := t.Node()
+		if t.sim.homeOf(addr, node) != node {
+			t.sim.stats.RemoteLineFills++
+			base += t.sim.cfg.Costs.RemoteFill
+			// The fill migrates ownership to the accessor's socket
+			// (see topology.go): subsequent accesses from this node
+			// are local until the other node pulls the line back.
+			t.sim.setHome(addr, 1, node)
+		} else {
+			t.sim.stats.LocalLineFills++
+		}
 	}
-	return base + t.sim.cfg.Costs.MissPenalty
+	return base
+}
+
+// Touch models a memory access to addr that carries no instruction
+// cost of its own: it runs the same cache and topology accounting as
+// Load — miss penalty, remote fill, ownership migration — and charges
+// only those components.  Library code uses it for operations whose
+// instruction cost is charged flat but which still move cache lines,
+// e.g. the collect pipeline's sweep poisoning a freed block.
+func (t *Thread) Touch(addr uint64) {
+	if c := t.memCost(0, addr); c > 0 {
+		t.charge(c)
+	}
 }
 
 // Load loads the word at regs[addrReg] + offWords*8 into regs[dst].
@@ -359,10 +394,15 @@ func (t *Thread) Fence() {
 }
 
 // Alloc allocates size bytes and places the block address in regs[dst].
+// Under a multi-node topology the fresh block's lines are homed on the
+// allocating thread's node (first-touch placement).
 func (t *Thread) Alloc(dst int, size int) {
 	t.charge(t.sim.cfg.Costs.Alloc + int64(size/simmem.WordSize))
 	t.safepoint()
 	addr := t.cache.Alloc(size)
+	if t.sim.topo.nodes > 1 {
+		t.sim.setHome(addr, size, t.Node())
+	}
 	t.checkReg(dst)
 	t.regs[dst] = addr
 }

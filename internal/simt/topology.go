@@ -1,0 +1,144 @@
+package simt
+
+import "fmt"
+
+// Machine topology: virtual cores grouped into NUMA nodes.
+//
+// The paper's scalability argument (§6–7) depends on where reclamation
+// work executes relative to where nodes were retired: a collect that
+// sorts and sweeps on the socket that retired the addresses walks warm
+// lines, one that lands on the other socket pays a remote fill per
+// line.  The flat core array cannot express that, so the simulator
+// models an explicit topology:
+//
+//   - Config.Nodes groups the Cores virtual cores into contiguous,
+//     near-equal blocks (node i owns cores [i*C/N, (i+1)*C/N)), the way
+//     firmware enumerates sockets.
+//   - Every heap line has a home node, assigned when its block is
+//     allocated (first-touch, as Linux places pages).  A cache-line
+//     fill whose home is a different node than the accessing core
+//     charges Costs.RemoteFill on top of the normal cost — the
+//     cross-socket interconnect hop — and counts in
+//     SimStats.RemoteLineFills.  A remote fill also migrates the
+//     line's home to the accessor, a one-level directory-coherence
+//     model: after a thread writes or reads a line, the next access
+//     from its own socket is local, the next from the other socket
+//     pays the hop.  This is what makes retire-side attribution the
+//     right locality signal — a consumer that pops a node owns its
+//     lines, wherever they were first allocated.
+//   - Thread.Pin restricts a thread to one node's cores (the
+//     sched_setaffinity analog); SpawnFrom children inherit the
+//     parent's pin, like a forked thread inherits its CPU mask.
+//
+// Nodes == 1 (the default) is the flat machine: no line has a remote
+// home, no access charges RemoteFill, and the scheduler's core choice
+// degenerates to the earliest-free core — virtual-cycle charges are
+// bit-identical to the pre-topology model.
+type topology struct {
+	nodes  int
+	cores  int
+	nodeOf []int // core -> node
+}
+
+func newTopology(nodes, cores int) topology {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > cores {
+		nodes = cores
+	}
+	t := topology{nodes: nodes, cores: cores, nodeOf: make([]int, cores)}
+	for n := 0; n < nodes; n++ {
+		lo, hi := n*cores/nodes, (n+1)*cores/nodes
+		for c := lo; c < hi; c++ {
+			t.nodeOf[c] = n
+		}
+	}
+	return t
+}
+
+// coreRange returns the half-open core interval [lo, hi) owned by node n.
+func (t *topology) coreRange(n int) (lo, hi int) {
+	return n * t.cores / t.nodes, (n + 1) * t.cores / t.nodes
+}
+
+// Nodes returns the number of NUMA nodes in the simulated machine.
+func (s *Sim) Nodes() int { return s.topo.nodes }
+
+// NodeOfCore returns the NUMA node that owns the given core.
+func (s *Sim) NodeOfCore(core int) int {
+	if core < 0 || core >= len(s.topo.nodeOf) {
+		panic(fmt.Sprintf("simt: core %d out of range", core))
+	}
+	return s.topo.nodeOf[core]
+}
+
+// NodeCores returns the half-open core interval [lo, hi) of node n.
+func (s *Sim) NodeCores(n int) (lo, hi int) {
+	if n < 0 || n >= s.topo.nodes {
+		panic(fmt.Sprintf("simt: node %d out of range", n))
+	}
+	return s.topo.coreRange(n)
+}
+
+// Pin restricts the thread to the cores of NUMA node n, taking effect
+// at its next dispatch (sched_setaffinity semantics).  Pin(-1) clears
+// the restriction.  Callable before Run on a freshly spawned thread or
+// from the thread's own running context.
+func (t *Thread) Pin(n int) {
+	if n < -1 || n >= t.sim.topo.nodes {
+		panic(fmt.Sprintf("simt: Pin to node %d of %d", n, t.sim.topo.nodes))
+	}
+	t.pinned = n
+}
+
+// Pinned returns the node the thread is pinned to, or -1 if unpinned.
+func (t *Thread) Pinned() int { return t.pinned }
+
+// Node returns the thread's current NUMA node: the pinned node when
+// pinned, otherwise the node of the core it last ran on.  This is the
+// node reclamation attributes the thread's work to.
+func (t *Thread) Node() int {
+	if t.pinned >= 0 {
+		return t.pinned
+	}
+	return t.sim.topo.nodeOf[t.core]
+}
+
+// homeOf returns the home node of the heap line containing addr,
+// assigning touch as its home on first contact (Linux's first-touch
+// page placement).  Alloc pre-assigns every line of a fresh block to
+// the allocating thread's node, so ordinary data-structure memory is
+// homed where it was born.
+func (s *Sim) homeOf(addr uint64, touch int) int {
+	line := int(addr>>lineShift) - s.lineBase
+	if line < 0 || line >= len(s.lineHome) {
+		return touch // outside the arena (simulated nil, poison): local
+	}
+	if s.lineHome[line] < 0 {
+		s.lineHome[line] = int8(touch)
+	}
+	return int(s.lineHome[line])
+}
+
+// setHome assigns node as the home of every line overlapping
+// [addr, addr+bytes).
+func (s *Sim) setHome(addr uint64, bytes int, node int) {
+	first := int(addr>>lineShift) - s.lineBase
+	last := int((addr+uint64(bytes)-1)>>lineShift) - s.lineBase
+	for l := first; l <= last; l++ {
+		if l >= 0 && l < len(s.lineHome) {
+			s.lineHome[l] = int8(node)
+		}
+	}
+}
+
+// LineHome reports the home node of the line containing addr, or -1 if
+// the line has no home yet.  Diagnostic; charges nothing.
+func (s *Sim) LineHome(addr uint64) int {
+	line := int(addr>>lineShift) - s.lineBase
+	if line < 0 || line >= len(s.lineHome) {
+		return -1
+	}
+	return int(s.lineHome[line])
+}

@@ -1,0 +1,197 @@
+package simt
+
+import (
+	"testing"
+
+	"threadscan/internal/simmem"
+)
+
+// The machine topology: core grouping, thread pinning, first-touch
+// line homes, remote-fill charging with ownership migration, and the
+// Nodes=1 flat-machine guarantee.
+
+func numaConfig(cores, nodes int) Config {
+	return Config{
+		Cores:   cores,
+		Nodes:   nodes,
+		Quantum: 10_000,
+		Seed:    1,
+		Heap:    simmem.Config{Words: 1 << 14, Check: true, Poison: true},
+	}
+}
+
+func TestTopologyCorePartition(t *testing.T) {
+	for _, tc := range []struct{ cores, nodes int }{
+		{4, 1}, {4, 2}, {8, 2}, {8, 3}, {5, 2}, {7, 3}, {6, 4}, {3, 8},
+	} {
+		s := New(numaConfig(tc.cores, tc.nodes))
+		wantNodes := tc.nodes
+		if wantNodes > tc.cores {
+			wantNodes = tc.cores // clamped
+		}
+		if s.Nodes() != wantNodes {
+			t.Fatalf("cores=%d nodes=%d: Nodes()=%d, want %d",
+				tc.cores, tc.nodes, s.Nodes(), wantNodes)
+		}
+		covered := 0
+		prevHi := 0
+		for n := 0; n < s.Nodes(); n++ {
+			lo, hi := s.NodeCores(n)
+			if lo != prevHi {
+				t.Fatalf("cores=%d nodes=%d: node %d starts at %d, want %d (contiguous)",
+					tc.cores, tc.nodes, n, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("cores=%d nodes=%d: node %d is empty", tc.cores, tc.nodes, n)
+			}
+			for c := lo; c < hi; c++ {
+				if s.NodeOfCore(c) != n {
+					t.Fatalf("cores=%d nodes=%d: NodeOfCore(%d)=%d, want %d",
+						tc.cores, tc.nodes, c, s.NodeOfCore(c), n)
+				}
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.cores {
+			t.Fatalf("cores=%d nodes=%d: partition covers %d cores", tc.cores, tc.nodes, covered)
+		}
+	}
+}
+
+func TestPinRestrictsDispatch(t *testing.T) {
+	s := New(numaConfig(4, 2))
+	bad := -1
+	for n := 0; n < 2; n++ {
+		n := n
+		th := s.Spawn("pinned", func(th *Thread) {
+			lo, hi := th.Sim().NodeCores(n)
+			for i := 0; i < 50; i++ {
+				th.Work(5_000) // crosses quanta, forcing re-dispatches
+				if th.Core() < lo || th.Core() >= hi {
+					bad = th.Core()
+				}
+				if th.Node() != n {
+					t.Errorf("pinned thread reports node %d, want %d", th.Node(), n)
+				}
+			}
+		})
+		th.Pin(n)
+		if th.Pinned() != n {
+			t.Fatalf("Pinned()=%d after Pin(%d)", th.Pinned(), n)
+		}
+	}
+	mustRun(t, s)
+	if bad >= 0 {
+		t.Fatalf("pinned thread dispatched on core %d outside its node", bad)
+	}
+}
+
+func TestSpawnFromInheritsPin(t *testing.T) {
+	s := New(numaConfig(4, 2))
+	var childPin, grandPin int
+	parent := s.Spawn("parent", func(th *Thread) {
+		th.Work(2_000)
+		child := s.SpawnFrom(th, "child", func(c *Thread) {
+			childPin = c.Pinned()
+			c.Work(2_000)
+			grand := s.SpawnFrom(c, "grand", func(g *Thread) { g.Work(500) })
+			grandPin = grand.Pinned()
+		})
+		if child.Pinned() != 1 {
+			t.Errorf("child pinned to %d at spawn, want 1", child.Pinned())
+		}
+		th.Work(30_000) // outlive the descendants
+	})
+	parent.Pin(1)
+	mustRun(t, s)
+	if childPin != 1 || grandPin != 1 {
+		t.Fatalf("pin inheritance: child %d grand %d, want 1 1", childPin, grandPin)
+	}
+}
+
+// TestRemoteFillChargedAndMigrates: a line allocated on node 0 costs
+// extra when node 1 fills it, ownership migrates with the fill, and
+// the same access pattern on a flat machine charges nothing extra.
+func TestRemoteFillChargedAndMigrates(t *testing.T) {
+	run := func(nodes, readerNode int) (clock int64, st SimStats, home int) {
+		s := New(numaConfig(4, nodes))
+		var addr uint64
+		alloc := s.Spawn("alloc", func(th *Thread) {
+			th.Alloc(1, 64)
+			addr = th.Reg(1)
+			th.SetReg(1, 0)
+		})
+		alloc.Pin(0)
+		reader := s.Spawn("reader", func(th *Thread) {
+			th.Work(20_000) // let the allocator run first
+			for i := 0; i < 10; i++ {
+				th.LoadAddr(addr)
+			}
+		})
+		if nodes > 1 {
+			reader.Pin(readerNode)
+		}
+		mustRun(t, s)
+		return s.Clock(), s.Stats(), s.LineHome(addr)
+	}
+
+	_, flatStats, _ := run(1, 0)
+	if flatStats.RemoteLineFills != 0 || flatStats.LocalLineFills != 0 {
+		t.Fatalf("flat machine counted fills: %+v", flatStats)
+	}
+
+	localClock, localStats, localHome := run(2, 0)
+	if localStats.RemoteLineFills != 0 {
+		t.Fatalf("same-node reads counted %d remote fills", localStats.RemoteLineFills)
+	}
+	if localHome != 0 {
+		t.Fatalf("line home %d after local reads, want 0", localHome)
+	}
+
+	remoteClock, remoteStats, remoteHome := run(2, 1)
+	// Without a cache model every access is a fill, but ownership
+	// migrates on the first remote one — so exactly one of the ten
+	// cross-node reads pays the hop.
+	if remoteStats.RemoteLineFills != 1 {
+		t.Fatalf("cross-node reads counted %d remote fills, want 1", remoteStats.RemoteLineFills)
+	}
+	if remoteHome != 1 {
+		t.Fatalf("line home %d after remote fill, want 1 (migrated)", remoteHome)
+	}
+	// The two pinned runs differ only in the reader's node, so their
+	// clocks differ by exactly the one remote fill.  (The flat run is
+	// not cycle-comparable here: pinning narrows the reader's core
+	// choice, which shifts context-switch charges.)
+	if want := localClock + DefaultCosts().RemoteFill; remoteClock != want {
+		t.Fatalf("cross-node clock %d, want local %d + one RemoteFill = %d",
+			remoteClock, localClock, want)
+	}
+}
+
+// TestFlatMachineIdenticalUnderNodeConfig: Nodes=1 must be the exact
+// pre-topology machine — same clock, same scheduling — whatever other
+// features are on.
+func TestFlatMachineIdenticalUnderNodeConfig(t *testing.T) {
+	run := func(nodes int) int64 {
+		cfg := numaConfig(4, nodes)
+		cfg.CacheSim = true
+		s := New(cfg)
+		for w := 0; w < 6; w++ {
+			s.Spawn("w", func(th *Thread) {
+				for i := 0; i < 40; i++ {
+					th.Alloc(1, 64)
+					th.LoadAddr(th.Reg(1))
+					th.FreeAddr(th.Reg(1))
+					th.SetReg(1, 0)
+					th.Work(1_000)
+				}
+			})
+		}
+		mustRun(t, s)
+		return s.Clock()
+	}
+	if a, b := run(0), run(1); a != b {
+		t.Fatalf("Nodes=0 clock %d != Nodes=1 clock %d", a, b)
+	}
+}

@@ -94,8 +94,40 @@ func Builtins() []Scenario {
 	overChurn.Phases = []Phase{{Name: "crowded-churn", Duration: 5_000_000, Mix: heavy}}
 	overChurn.Churn = &Churn{Workers: 2, Generations: 3}
 
+	// The two topology scenarios share a role split — the first half
+	// of the workers insert-heavy (producers), the second half
+	// remove-heavy (consumers) — and differ only in how roles map onto
+	// the two NUMA nodes.  numa-split aligns them (all retiring
+	// happens on node 1 against memory allocated on node 0 — the
+	// cross-socket reclamation cliff Stamp-it identifies); the
+	// balanced control interleaves them so every node both allocates
+	// and retires.  Sharding and HelpFree are on so there are claim
+	// units for the affinity-first order to route.
+	producerConsumer := []Mix{
+		{InsertPct: 60, RemovePct: 10},
+		{InsertPct: 10, RemovePct: 60},
+	}
+	split := quickBase("numa-split",
+		"producers pinned to node 0 retire into consumers pinned to node 1: worst-case cross-socket reclamation traffic")
+	split.Nodes = 2
+	split.PinPolicy = "split"
+	split.WorkerMix = producerConsumer
+	split.Shards = 8
+	split.HelpFree = true
+	split.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
+
+	balanced := quickBase("numa-balanced",
+		"same producer/consumer roles interleaved across both nodes: the control for numa-split")
+	balanced.Nodes = 2
+	balanced.PinPolicy = "rr"
+	balanced.WorkerMix = producerConsumer
+	balanced.Shards = 8
+	balanced.HelpFree = true
+	balanced.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
+
 	return []Scenario{
 		baseline, zipf, hotspot, window, storm, burst, churn, over, overChurn,
+		split, balanced,
 	}
 }
 

@@ -132,6 +132,40 @@ type Scenario struct {
 	Watermark int
 	HelpFree  bool
 
+	// Topology knobs.  Nodes groups the cores into NUMA nodes (0/1 =
+	// the flat machine); PinPolicy maps persistent workers onto them:
+	//
+	//	""/"none"  no pinning — threads run on any core
+	//	"rr"       worker i pinned to node i % Nodes (interleaved)
+	//	"split"    workers pinned in contiguous blocks — worker i to
+	//	           node i*Nodes/Threads, so the first 1/Nodes of the
+	//	           workers land on node 0, and (with WorkerMix) whole
+	//	           role groups land on whole nodes
+	//
+	// Churn workers inherit the churn controller's (unpinned) mask
+	// unless the engine pins them; with "rr" and "split" the engine
+	// pins churn worker j to node j % Nodes so turnover populates
+	// every node.
+	Nodes     int
+	PinPolicy string
+
+	// WorkerMix optionally overrides the phase op mix per worker role
+	// group: the persistent workers divide into len(WorkerMix) equal
+	// contiguous groups, and group g draws operations from
+	// WorkerMix[g] instead of the phase's Mix (key distributions and
+	// phase boundaries still apply).  This is how producer/consumer
+	// scenarios are declared: WorkerMix[0] insert-heavy, WorkerMix[1]
+	// remove-heavy; combined with PinPolicy "split" the producers
+	// occupy node 0 and retire into consumers on node 1, while "rr"
+	// spreads both roles over all nodes as a balanced control.  Churn
+	// workers always use the phase mix.
+	WorkerMix []Mix
+
+	// ClaimPolicy selects the threadscan shard-claim order on a
+	// multi-node topology: "" / "affinity" (local shards first, steal
+	// remote) or "rr" (index order, topology-blind).
+	ClaimPolicy string
+
 	// Simulator knobs (0 = defaults).
 	Quantum     int64
 	HeapWords   int
@@ -193,6 +227,33 @@ func (s *Scenario) Fill() error {
 				s.Name, s.Churn.Generations-1)
 		}
 	}
+	if s.Nodes <= 0 {
+		s.Nodes = 1
+	}
+	if s.Nodes > s.Cores {
+		s.Nodes = s.Cores // the simulator clamps the same way
+	}
+	switch s.PinPolicy {
+	case "", "none", "rr", "split":
+	default:
+		return fmt.Errorf("workload: %s: unknown pin policy %q", s.Name, s.PinPolicy)
+	}
+	switch s.ClaimPolicy {
+	case "", "affinity", "rr":
+	default:
+		return fmt.Errorf("workload: %s: unknown claim policy %q", s.Name, s.ClaimPolicy)
+	}
+	if len(s.WorkerMix) > 0 {
+		if len(s.WorkerMix) > s.Threads {
+			return fmt.Errorf("workload: %s: %d worker-mix groups for %d workers",
+				s.Name, len(s.WorkerMix), s.Threads)
+		}
+		for g, m := range s.WorkerMix {
+			if err := m.validate(); err != nil {
+				return fmt.Errorf("%s/worker-mix[%d]: %w", s.Name, g, err)
+			}
+		}
+	}
 	if s.SampleEvery <= 0 {
 		s.SampleEvery = s.TotalDuration() / 64
 		if s.SampleEvery < 1 {
@@ -200,6 +261,28 @@ func (s *Scenario) Fill() error {
 		}
 	}
 	return nil
+}
+
+// WorkerNode returns the node worker i is pinned to under the pin
+// policy, or -1 for no pin.  Valid after Fill.
+func (s *Scenario) WorkerNode(i int) int {
+	switch s.PinPolicy {
+	case "rr":
+		return i % s.Nodes
+	case "split":
+		return i * s.Nodes / s.Threads
+	default:
+		return -1
+	}
+}
+
+// WorkerGroupMix returns the op-mix override for worker i, or nil when
+// the phase mix applies.  Valid after Fill.
+func (s *Scenario) WorkerGroupMix(i int) *Mix {
+	if len(s.WorkerMix) == 0 || i >= s.Threads {
+		return nil
+	}
+	return &s.WorkerMix[i*len(s.WorkerMix)/s.Threads]
 }
 
 // Scale multiplies every duration-like knob by f (phase durations,

@@ -194,3 +194,103 @@ func TestScaleStretchesDurations(t *testing.T) {
 		t.Fatal("Scale mutated the original")
 	}
 }
+
+func TestPinPolicyPartitionsWorkers(t *testing.T) {
+	s := Scenario{Threads: 8, Cores: 8, Nodes: 2}
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	// No policy: nobody pinned.
+	for i := 0; i < s.Threads; i++ {
+		if s.WorkerNode(i) != -1 {
+			t.Fatalf("unpinned policy pins worker %d to %d", i, s.WorkerNode(i))
+		}
+	}
+	// rr interleaves; split assigns contiguous blocks.  Both must map
+	// every worker to an in-range node and use every node.
+	for _, pin := range []string{"rr", "split"} {
+		s.PinPolicy = pin
+		used := map[int]int{}
+		for i := 0; i < s.Threads; i++ {
+			n := s.WorkerNode(i)
+			if n < 0 || n >= s.Nodes {
+				t.Fatalf("%s: worker %d -> node %d out of range", pin, i, n)
+			}
+			used[n]++
+		}
+		if len(used) != s.Nodes {
+			t.Fatalf("%s: only %d of %d nodes used", pin, len(used), s.Nodes)
+		}
+		if used[0] != used[1] {
+			t.Fatalf("%s: unbalanced pinning %v", pin, used)
+		}
+	}
+	s.PinPolicy = "split"
+	if s.WorkerNode(0) != 0 || s.WorkerNode(3) != 0 || s.WorkerNode(4) != 1 || s.WorkerNode(7) != 1 {
+		t.Fatal("split does not assign contiguous halves")
+	}
+}
+
+func TestWorkerMixGroups(t *testing.T) {
+	s := Scenario{Threads: 8, Cores: 8,
+		WorkerMix: []Mix{{InsertPct: 80}, {RemovePct: 80}}}
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if m := s.WorkerGroupMix(i); m == nil || m.InsertPct != 80 {
+			t.Fatalf("worker %d not in producer group: %+v", i, m)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if m := s.WorkerGroupMix(i); m == nil || m.RemovePct != 80 {
+			t.Fatalf("worker %d not in consumer group: %+v", i, m)
+		}
+	}
+	if s.WorkerGroupMix(100) != nil {
+		t.Fatal("out-of-range worker got a mix")
+	}
+	none := Scenario{Threads: 4, Cores: 4}
+	if err := none.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if none.WorkerGroupMix(0) != nil {
+		t.Fatal("scenario without WorkerMix handed out an override")
+	}
+}
+
+func TestTopologyKnobValidation(t *testing.T) {
+	bad := Scenario{PinPolicy: "diagonal"}
+	if err := bad.Fill(); err == nil {
+		t.Fatal("bad pin policy accepted")
+	}
+	bad = Scenario{ClaimPolicy: "greedy"}
+	if err := bad.Fill(); err == nil {
+		t.Fatal("bad claim policy accepted")
+	}
+	bad = Scenario{Threads: 2, WorkerMix: []Mix{{}, {}, {}}}
+	if err := bad.Fill(); err == nil {
+		t.Fatal("more mix groups than workers accepted")
+	}
+	bad = Scenario{WorkerMix: []Mix{{InsertPct: 90, RemovePct: 90}}}
+	if err := bad.Fill(); err == nil {
+		t.Fatal("overfull worker mix accepted")
+	}
+	clamp := Scenario{Threads: 4, Cores: 2, Nodes: 8}
+	if err := clamp.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if clamp.Nodes != 2 {
+		t.Fatalf("Nodes not clamped to cores: %d", clamp.Nodes)
+	}
+	numa, ok := ByName("numa-split")
+	if !ok {
+		t.Fatal("numa-split builtin missing")
+	}
+	if err := numa.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if numa.Nodes != 2 || numa.PinPolicy != "split" || len(numa.WorkerMix) != 2 {
+		t.Fatalf("numa-split topology: %d/%s/%d mixes", numa.Nodes, numa.PinPolicy, len(numa.WorkerMix))
+	}
+}
