@@ -36,7 +36,7 @@ func main() {
 	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
-		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa")
+		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode")
 		single   = flag.Bool("single", false, "run a single experiment and dump its stats")
 		dsName   = flag.String("ds", "all", "data structure: list | hash | skiplist | all")
 		scheme   = flag.String("scheme", "threadscan", "scheme for -single")
@@ -50,7 +50,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write figure results as CSV to this file")
 		buffer   = flag.Int("buffer", 0, "per-thread delete buffer for -single (0 = 1024)")
 		batch    = flag.Int("batch", 0, "reclaim batch for -single (0 = 1024)")
-		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa (comma-separated for numa)")
+		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa/pernode (comma-separated except shards)")
 		shardKs  = flag.String("shard-counts", "", "comma-separated K values for -ablation shards (default 1,2,4,8,16)")
 	)
 	flag.Parse()
@@ -109,6 +109,18 @@ func parseInts(s, what string) []int {
 			fatal(fmt.Errorf("bad %s %q", what, part))
 		}
 		out = append(out, n)
+	}
+	return out
+}
+
+// splitScenarios parses a comma-separated -ablation-scenario value
+// (empty slice = the ablation's default scenario set).
+func splitScenarios(s string) []string {
+	var out []string
+	if s != "" {
+		for _, part := range strings.Split(s, ",") {
+			out = append(out, strings.TrimSpace(part))
+		}
 	}
 	return out
 }
@@ -204,17 +216,19 @@ func runAblation(kind string, params harness.SweepParams, ablScenario string, sh
 			fatal(err)
 		}
 	case "numa":
-		var scens []string
-		if ablScenario != "" {
-			for _, s := range strings.Split(ablScenario, ",") {
-				scens = append(scens, strings.TrimSpace(s))
-			}
-		}
-		rows, err := harness.AblationNUMA(scens, params)
+		rows, err := harness.AblationNUMA(splitScenarios(ablScenario), params)
 		if err != nil {
 			fatal(err)
 		}
 		if err := harness.WriteNUMATable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "pernode":
+		rows, err := harness.AblationPerNode(splitScenarios(ablScenario), params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WritePerNodeTable(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
 	default:

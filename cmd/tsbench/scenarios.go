@@ -9,6 +9,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"threadscan/internal/core"
 	"threadscan/internal/harness"
 	"threadscan/internal/workload"
 )
@@ -33,6 +34,8 @@ func runScenarios(args []string) {
 		nodes    = fs.Int("nodes", 0, "NUMA nodes to group the cores into (0 = scenario default / flat)")
 		pin      = fs.String("pin", "", `worker pinning policy: "none", "rr", or "split" ("" = scenario default)`)
 		claim    = fs.String("claim", "", `threadscan shard-claim order: "affinity" or "rr" ("" = scenario default)`)
+		perNode  = fs.Bool("pernode", false, "enable threadscan per-node retirement routing + node-local reclaimers")
+		steal    = fs.Int("steal", 0, "threadscan per-node steal threshold in addresses (0 = default)")
 		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
 		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
@@ -67,6 +70,17 @@ func runScenarios(args []string) {
 		}
 	}
 
+	// Validate the topology flags against every selected scenario up
+	// front: a -nodes that exceeds a scenario's core count (or a bad
+	// policy string) is a usage error at parse time, not a mid-grid
+	// failure — and never a silent clamp that reports results for a
+	// different machine than the one asked for.
+	if err := validateTopologyFlags(specs, *nodes, *pin, *claim, *perNode, *steal); err != nil {
+		fmt.Fprintln(os.Stderr, "tsbench scenarios:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+
 	var results []harness.ScenarioResult
 	for _, base := range specs {
 		for _, dsName := range strings.Split(*dss, ",") {
@@ -92,6 +106,12 @@ func runScenarios(args []string) {
 				}
 				if *claim != "" {
 					spec.ClaimPolicy = *claim
+				}
+				if *perNode {
+					spec.PerNode = true
+				}
+				if *steal > 0 {
+					spec.StealThreshold = *steal
 				}
 				r, err := harness.RunScenario(spec)
 				if err != nil {
@@ -134,16 +154,67 @@ func runScenarios(args []string) {
 	}
 }
 
+// validateTopologyFlags checks the scenarios subcommand's topology
+// flags against every selected scenario before anything runs.  The
+// workload layer clamps Nodes to the core count for programmatic
+// callers; at the CLI that clamp would silently benchmark a different
+// machine than the user asked for, so here it is a usage error.
+func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim string, perNode bool, steal int) error {
+	switch pin {
+	case "", "none", "rr", "split":
+	default:
+		return fmt.Errorf(`unknown -pin policy %q (want "none", "rr", or "split")`, pin)
+	}
+	switch claim {
+	case "", "affinity", "rr":
+	default:
+		return fmt.Errorf(`unknown -claim order %q (want "affinity" or "rr")`, claim)
+	}
+	if nodes < 0 {
+		return fmt.Errorf("-nodes %d: node count cannot be negative", nodes)
+	}
+	if steal < 0 {
+		return fmt.Errorf("-steal %d: steal threshold cannot be negative", steal)
+	}
+	if perNode && nodes > core.MaxRoutedNodes {
+		return fmt.Errorf("-pernode supports at most %d nodes (the node tag rides in the ring entry's low bits), got -nodes %d",
+			core.MaxRoutedNodes, nodes)
+	}
+	for i := range specs {
+		sc := specs[i]
+		if err := sc.Fill(); err != nil {
+			return err
+		}
+		cores := sc.Cores
+		if nodes > cores {
+			return fmt.Errorf("scenario %q runs on %d cores; -nodes %d cannot split them into more nodes than cores",
+				sc.Name, cores, nodes)
+		}
+		// The flag overrides the scenario's topology, so judge -pernode
+		// against the *effective* node count of the run.
+		effNodes := sc.Nodes
+		if nodes > 0 {
+			effNodes = nodes
+		}
+		if perNode && effNodes <= 1 {
+			return fmt.Errorf("scenario %q would run flat (%d node): -pernode needs a multi-node topology (raise -nodes)",
+				sc.Name, effNodes)
+		}
+	}
+	return nil
+}
+
 // writeScenarioTable renders the grid: throughput and peak unreclaimed
 // garbage per scenario x structure x scheme, with the full collect-
 // pipeline counter set — the same counters the JSON path carries, so
 // neither output is the poor relation.
 func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tnodes\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires\thelp-sorted\thelp-swept\tlocal-claims\tremote-claims\tremote-fills")
+	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tnodes\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires\thelp-sorted\thelp-swept\tlocal-claims\tremote-claims\tremote-fills\tsweep-remote\tstolen")
 	for _, r := range results {
 		var collectCyc int64
 		var dblRetires, helpSorted, helpSwept, localClaims, remoteClaims uint64
+		var sweepRemote, stolen uint64
 		if r.Core != nil {
 			collectCyc = r.Core.CollectCycles
 			dblRetires = r.Core.DoubleRetires
@@ -151,16 +222,19 @@ func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 			helpSwept = r.Core.HelpSweptShards
 			localClaims = r.Core.LocalShardClaims
 			remoteClaims = r.Core.RemoteShardClaims
+			sweepRemote = r.Core.SweepRemoteFills
+			stolen = r.Core.StolenCollects + r.Core.StolenSweeps
 		}
 		nodes := r.Nodes
 		if nodes == 0 {
 			nodes = 1
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, nodes, r.Ops, r.Throughput,
 			r.Footprint.PeakRetiredNodes, r.Footprint.PeakRetiredWords,
 			r.Footprint.FinalRetiredNodes, r.ChurnWorkers, collectCyc, dblRetires,
-			helpSorted, helpSwept, localClaims, remoteClaims, r.Sim.RemoteLineFills)
+			helpSorted, helpSwept, localClaims, remoteClaims, r.Sim.RemoteLineFills,
+			sweepRemote, stolen)
 	}
 	tw.Flush()
 }

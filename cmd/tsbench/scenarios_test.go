@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"threadscan/internal/workload"
+)
+
+// validateTopologyFlags must catch bad topology requests at flag-parse
+// time — before any scenario runs — instead of silently clamping to a
+// different machine (the old behavior) or panicking mid-grid.
+func TestValidateTopologyFlags(t *testing.T) {
+	builtins := workload.Builtins()
+	split, ok := workload.ByName("numa-split")
+	if !ok {
+		t.Fatal("numa-split builtin missing")
+	}
+	flat, ok := workload.ByName("uniform-baseline")
+	if !ok {
+		t.Fatal("uniform-baseline builtin missing")
+	}
+
+	cases := []struct {
+		name    string
+		specs   []workload.Scenario
+		nodes   int
+		pin     string
+		claim   string
+		perNode bool
+		steal   int
+		wantErr string // substring; "" = must pass
+	}{
+		{name: "defaults pass", specs: builtins},
+		{name: "nodes within cores", specs: builtins, nodes: 2, pin: "rr"},
+		{name: "nodes over cores rejected", specs: []workload.Scenario{split}, nodes: 64,
+			wantErr: "more nodes than cores"},
+		{name: "nodes over smallest scenario rejected", specs: builtins, nodes: 7,
+			wantErr: "more nodes than cores"}, // thread-churn runs on 6 cores
+		{name: "negative nodes rejected", specs: builtins, nodes: -1,
+			wantErr: "cannot be negative"},
+		{name: "bad pin rejected", specs: builtins, pin: "sideways",
+			wantErr: "-pin"},
+		{name: "bad claim rejected", specs: builtins, claim: "greedy",
+			wantErr: "-claim"},
+		{name: "negative steal rejected", specs: builtins, steal: -8,
+			wantErr: "-steal"},
+		{name: "pernode on flat scenario rejected", specs: []workload.Scenario{flat}, perNode: true,
+			wantErr: "multi-node"},
+		{name: "pernode flattened by -nodes 1 rejected", specs: []workload.Scenario{split}, nodes: 1, perNode: true,
+			wantErr: "multi-node"},
+		{name: "pernode with nodes passes", specs: []workload.Scenario{flat}, nodes: 2, perNode: true},
+		{name: "pernode on numa scenario passes", specs: []workload.Scenario{split}, perNode: true},
+		{name: "pernode beyond tag bits rejected", specs: []workload.Scenario{split}, nodes: 9, perNode: true,
+			wantErr: "at most 8 nodes"},
+	}
+	for _, tc := range cases {
+		err := validateTopologyFlags(tc.specs, tc.nodes, tc.pin, tc.claim, tc.perNode, tc.steal)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", tc.name, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -33,6 +33,11 @@
 // HelpFree) claim whole per-shard free lists to sweep.  With Shards <= 1
 // and the watermark off, the protocol is bit-identical in virtual-cycle
 // charges to the paper's serial collect.
+//
+// On a multi-node topology, Config.PerNode restructures the pipeline
+// once more (see pernode.go): retirements are routed to per-node shard
+// groups at Free time and each node runs its own reclaimer over its own
+// group, with a cross-node handshake only at the scan barrier.
 package core
 
 import (
@@ -143,6 +148,30 @@ type Config struct {
 	// Irrelevant (and free of any effect on cycle charges) when the
 	// simulation has a single node.
 	Claim ClaimPolicy
+
+	// PerNode enables per-node retirement routing and node-local
+	// reclaimers (see pernode.go).  Free tags each retired address with
+	// the retiring thread's NUMA node; a full ring is drained by its
+	// *owner* into per-node sub-buffers (ring → home-node sub-buffer),
+	// and each node runs its own collects over its own single-node
+	// shard group — the only cross-node synchronization is the scan
+	// barrier handshake.  Requires a multi-node topology (silently
+	// inert when the machine is flat, keeping the flat model
+	// bit-identical) and at most 8 nodes (the tag rides in the ring
+	// entry's low three bits).
+	PerNode bool
+
+	// StealThreshold is the per-node backlog (in buffered addresses) at
+	// which other nodes start stealing reclamation work under PerNode —
+	// the rebalancing story for one-node-retires-everything skew.
+	// Below it, sort and sweep work stays strictly node-local (remote
+	// scanners scan but do not claim); above it, remote threads collect
+	// for the overloaded node, help-sort its shards, and sweep its
+	// deferred lists, trading remote fills for bounded memory.
+	// Defaults to 4x the largest per-node collect trigger (which is
+	// CollectWatermark/nodes when the watermark is set, else
+	// BufferSize x the node's core count).
+	StealThreshold int
 }
 
 func (c *Config) fill() {
@@ -182,6 +211,29 @@ type Stats struct {
 	LocalShardClaims  uint64
 	RemoteShardClaims uint64
 
+	// SweepRemoteFills counts sweep-side frees (reclaimer sweeps, drain
+	// mop-ups, and scanner help-frees) that touched a line homed on a
+	// *different* node than the freeing thread — the cross-socket
+	// traffic per-node routing exists to eliminate.  Zero on the flat
+	// machine; with PerNode on and an affinity claim order it is zero
+	// by construction on pinned workloads.  Teardown drains (FlushAll)
+	// are excluded: flushing every node from one thread is a one-time
+	// cross-node sweep by design, not a steady-state cost.
+	SweepRemoteFills uint64
+
+	// Per-node reclaimer accounting (PerNode mode only; nil otherwise).
+	// NodeCollects[n] counts collect phases run over node n's shard
+	// group; NodeReclaimed[n] counts nodes freed out of node-n-homed
+	// work units (by any thread).
+	NodeCollects  []uint64
+	NodeReclaimed []uint64
+
+	// Steal accounting under PerNode: collects run for a node by a
+	// thread of another node, and sweep lists drained cross-node, both
+	// gated by Config.StealThreshold.
+	StolenCollects uint64
+	StolenSweeps   uint64
+
 	HandlerCycles int64 // virtual cycles spent inside scan handlers
 	CollectCycles int64 // virtual cycles spent inside TS-Collect
 }
@@ -200,10 +252,22 @@ type ThreadScan struct {
 
 	// Collect state (valid while lock is held).
 	shards      *shardSet
-	scratch     []uint64 // ring-drain staging
-	acksGot     int
-	acksNeed    int
-	reclaimerID int // thread driving the current collect (help attribution)
+	scratch     []uint64        // ring-drain staging
+	hs          *simt.Handshake // the scan barrier (ACK handshake)
+	reclaimerID int             // thread driving the current collect (help attribution)
+
+	// Per-node reclamation state (PerNode mode; see pernode.go).
+	// nodeBuf[n] is node n's home sub-buffer — addresses routed there
+	// at Free time, single-node by construction.  nodeRemark[n] holds
+	// node n's re-buffered marked (still-referenced) nodes; like the
+	// classic path's ringCount exclusion, they do not count toward the
+	// collect trigger, or pinned garbage would arm it permanently.
+	perNode     bool
+	collecting  int // node of the in-flight per-node collect (-1 idle)
+	nodeBuf     [][]uint64
+	nodeRemark  [][]uint64
+	nodeTrigger []int // per-node sub-buffer size that triggers a collect
+	stealAt     int   // per-node backlog at which remote stealing engages
 
 	// ringCount approximates the number of nodes buffered since the
 	// last collect began (fresh retirement pressure) for the watermark
@@ -248,6 +312,7 @@ type freeList struct {
 type tsThread struct {
 	ring       *Ring
 	heapBlocks [][2]uint64 // {startAddr, words} private regions (§4.3)
+	inFlush    bool        // inside FlushAll (this thread's teardown sweeps skip steal/fill stats)
 }
 
 // New creates a ThreadScan domain bound to sim and installs its hooks.
@@ -255,11 +320,49 @@ type tsThread struct {
 func New(sim *simt.Sim, cfg Config) *ThreadScan {
 	cfg.fill()
 	ts := &ThreadScan{
-		sim:    sim,
-		cfg:    cfg,
-		lock:   sim.NewMutex("threadscan.reclaim"),
-		shards: newShardSet(cfg.Shards, sim.Nodes()),
-		nodes:  sim.Nodes(),
+		sim:        sim,
+		cfg:        cfg,
+		lock:       sim.NewMutex("threadscan.reclaim"),
+		shards:     newShardSet(cfg.Shards, sim.Nodes()),
+		hs:         sim.NewHandshake("threadscan.scan"),
+		nodes:      sim.Nodes(),
+		collecting: -1,
+	}
+	if cfg.PerNode && ts.nodes > 1 {
+		if ts.nodes > MaxRoutedNodes {
+			panic(fmt.Sprintf("core: PerNode routing supports at most %d nodes (node tag rides in the ring entry's low bits), got %d",
+				MaxRoutedNodes, ts.nodes))
+		}
+		ts.perNode = true
+		ts.nodeBuf = make([][]uint64, ts.nodes)
+		ts.nodeRemark = make([][]uint64, ts.nodes)
+		// One reclaimer per node needs one trigger per node.  With the
+		// watermark set, the global threshold splits evenly across
+		// nodes; otherwise the default matches the classic cadence —
+		// a node collects once its threads (approximated by its cores)
+		// have each buffered about one ring's worth.
+		ts.nodeTrigger = make([]int, ts.nodes)
+		maxTrigger := 1
+		for n := range ts.nodeTrigger {
+			tr := cfg.CollectWatermark / ts.nodes
+			if cfg.CollectWatermark <= 0 {
+				lo, hi := sim.NodeCores(n)
+				tr = cfg.BufferSize * (hi - lo)
+			}
+			if tr < 1 {
+				tr = 1
+			}
+			ts.nodeTrigger[n] = tr
+			if tr > maxTrigger {
+				maxTrigger = tr
+			}
+		}
+		ts.stealAt = cfg.StealThreshold
+		if ts.stealAt <= 0 {
+			ts.stealAt = 4 * maxTrigger
+		}
+		ts.stats.NodeCollects = make([]uint64, ts.nodes)
+		ts.stats.NodeReclaimed = make([]uint64, ts.nodes)
 	}
 	sim.SetSignalHandler(cfg.Signal, ts.scanHandler)
 	sim.OnThreadStart(ts.threadStart)
@@ -267,8 +370,18 @@ func New(sim *simt.Sim, cfg Config) *ThreadScan {
 	return ts
 }
 
-// Stats returns a snapshot of protocol counters.
-func (ts *ThreadScan) Stats() Stats { return ts.stats }
+// Stats returns a snapshot of protocol counters.  The per-node slices
+// are copied so the snapshot stays stable while collects continue.
+func (ts *ThreadScan) Stats() Stats {
+	st := ts.stats
+	st.NodeCollects = append([]uint64(nil), ts.stats.NodeCollects...)
+	st.NodeReclaimed = append([]uint64(nil), ts.stats.NodeReclaimed...)
+	return st
+}
+
+// PerNode reports whether per-node retirement routing is active (the
+// config asked for it and the machine has more than one node).
+func (ts *ThreadScan) PerNode() bool { return ts.perNode }
 
 // BufferSize returns the per-thread delete buffer capacity.
 func (ts *ThreadScan) BufferSize() int { return ts.cfg.BufferSize }
@@ -298,6 +411,15 @@ func (ts *ThreadScan) threadExit(t *simt.Thread) {
 	ts.lock.Lock(t)
 	id := t.ID()
 	ts.registered[id] = false
+	if ts.perNode {
+		// Routed mode has no orphan list: the exiting thread's buffered
+		// entries carry their node tags, so they drain straight into the
+		// per-node sub-buffers they were destined for (routeRing charges
+		// the copy).
+		ts.routeRing(t, ts.perThread[id])
+		ts.lock.Unlock(t)
+		return
+	}
 	var n int
 	ts.orphans, n = ts.perThread[id].ring.Drain(ts.orphans)
 	if ts.nodes > 1 {
@@ -323,6 +445,10 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 	t.Charge(c.Store + c.Step)
 	ts.stats.Frees++
 	tt := ts.perThread[t.ID()]
+	if ts.perNode {
+		ts.freeRouted(t, tt, addr)
+		return
+	}
 	if tt.ring.Push(addr) {
 		ts.ringCount++
 		if ts.cfg.CollectWatermark > 0 {
@@ -373,10 +499,29 @@ func (ts *ThreadScan) parkOrphan(t *simt.Thread, addr uint64) {
 }
 
 // Collect forces a reclamation phase from thread t, regardless of
-// buffer occupancy.  Used by tests, teardown, and the harness.
+// buffer occupancy.  Used by tests, teardown, and the harness.  Under
+// per-node routing it routes every live ring and collects each node
+// with backlog (ascending node order, for determinism).
 func (ts *ThreadScan) Collect(t *simt.Thread) {
 	ts.lock.Lock(t)
-	ts.collect(t)
+	if ts.perNode {
+		ts.routeAllRings(t)
+		ran := false
+		for n := range ts.nodeBuf {
+			if len(ts.nodeBuf[n])+len(ts.nodeRemark[n]) > 0 {
+				ts.collectNode(t, n)
+				ran = true
+			}
+		}
+		if !ran {
+			// Nothing routed anywhere: still run one (empty) phase so a
+			// forced collect ticks the HelpFree carry-over, as in the
+			// classic path.
+			ts.collectNode(t, t.Node())
+		}
+	} else {
+		ts.collect(t)
+	}
 	ts.lock.Unlock(t)
 }
 
@@ -435,6 +580,9 @@ func (ts *ThreadScan) Buffered() int {
 			n += tt.ring.Len()
 		}
 	}
+	for i := range ts.nodeBuf {
+		n += len(ts.nodeBuf[i]) + len(ts.nodeRemark[i])
+	}
 	return n
 }
 
@@ -443,13 +591,32 @@ func (ts *ThreadScan) Buffered() int {
 // It returns the number of nodes still buffered.  Intended for
 // teardown, after application threads have dropped their references.
 func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
+	// Mark this thread (not the domain) as flushing: its teardown
+	// sweeps are excluded from the steady-state locality stats, while
+	// other threads' concurrent genuine collects keep counting.
+	if tt := ts.perThread[t.ID()]; tt != nil {
+		tt.inFlush = true
+		defer func() { tt.inFlush = false }()
+	}
 	for i := 0; i < 4; i++ {
 		if ts.Buffered() == 0 {
 			return 0
 		}
 		before := ts.stats.Reclaimed + ts.stats.HelpFreed
 		ts.lock.Lock(t)
-		ts.collect(t)
+		if ts.perNode {
+			ts.routeAllRings(t)
+			for n := range ts.nodeBuf {
+				if len(ts.nodeBuf[n])+len(ts.nodeRemark[n]) > 0 {
+					ts.collectNode(t, n)
+				}
+			}
+			// At teardown, unclaimed sweep lists of *every* node are
+			// drained here, steal threshold notwithstanding.
+			ts.drainHelpQueue(t)
+		} else {
+			ts.collect(t)
+		}
 		// collect defers this phase's unmarked nodes under HelpFree;
 		// at teardown, free them immediately.
 		for _, addr := range ts.pendingFree {
@@ -459,6 +626,9 @@ func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
 		for _, list := range ts.pendingShards {
 			for _, addr := range list.addrs {
 				ts.freeNode(t, addr)
+				if ts.perNode {
+					ts.stats.NodeReclaimed[list.home]++
+				}
 			}
 		}
 		ts.pendingShards = ts.pendingShards[:0]
@@ -582,11 +752,9 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 	// Scan our own stack and registers (line 7).
 	ts.scanThread(t)
 
-	// Wait for all ACKs (line 9).  The wait burns reclaimer cycles —
-	// the cost Figure 4 charges to oversubscription.
-	for ts.acksGot < ts.acksNeed {
-		t.Pause()
-	}
+	// Wait for all ACKs (line 9) — the scan barrier.  The wait burns
+	// reclaimer cycles: the cost Figure 4 charges to oversubscription.
+	ts.hs.Await(t)
 
 	// Prepare whatever shards no probe touched and no scanner claimed
 	// (their nodes are unmarked by definition — nothing probed them —
@@ -639,14 +807,14 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 // 3–5).  Exited threads deregister under the lock, so everyone signaled
 // will ACK.
 func (ts *ThreadScan) signalPeers(t *simt.Thread) {
-	ts.acksGot, ts.acksNeed = 0, 0
+	ts.hs.Arm()
 	threads := ts.sim.Threads()
 	for id := range ts.registered {
 		if !ts.registered[id] || id == t.ID() {
 			continue
 		}
 		if t.Signal(threads[id], ts.cfg.Signal) {
-			ts.acksNeed++
+			ts.hs.Expect(1)
 		}
 	}
 }
@@ -742,10 +910,32 @@ func (ts *ThreadScan) countClaim(t *simt.Thread, home int) {
 // order exists to avoid.
 func (ts *ThreadScan) freeNode(t *simt.Thread, addr uint64) {
 	if ts.nodes > 1 {
+		ts.noteSweep(t, addr)
 		t.Touch(addr)
 	}
 	t.FreeAddr(addr)
 	ts.stats.Reclaimed++
+}
+
+// noteSweep records whether a sweep-side touch of addr will cross the
+// interconnect: the line's current home is a different node than the
+// freeing thread's.  Checked *before* the Touch, which migrates
+// ownership.  Pure bookkeeping — no cycle charge.
+func (ts *ThreadScan) noteSweep(t *simt.Thread, addr uint64) {
+	if ts.flushing(t) {
+		return
+	}
+	if h := ts.sim.LineHome(addr); h >= 0 && h != t.Node() {
+		ts.stats.SweepRemoteFills++
+	}
+}
+
+// flushing reports whether t is inside its own FlushAll — the teardown
+// window whose deliberately cross-node sweeps stay out of the
+// steady-state steal and fill statistics.
+func (ts *ThreadScan) flushing(t *simt.Thread) bool {
+	id := t.ID()
+	return id < len(ts.perThread) && ts.perThread[id] != nil && ts.perThread[id].inFlush
 }
 
 // drainHelpQueue frees every remaining help-queue node — the chunked
@@ -764,6 +954,9 @@ func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 	for _, list := range lists {
 		for _, addr := range list.addrs {
 			ts.freeNode(t, addr)
+			if ts.perNode {
+				ts.stats.NodeReclaimed[list.home]++
+			}
 		}
 	}
 }
@@ -784,7 +977,7 @@ func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 	// ACK (line 25): a store visible to the reclaimer.
 	c := ts.costs()
 	t.Charge(c.Store + c.Fence)
-	ts.acksGot++
+	ts.hs.Ack(t)
 	ts.stats.HandlerCycles += t.HandlerCycles() - h0
 }
 
@@ -801,7 +994,13 @@ func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 // scanner with no local work left still helps, so the protocol's
 // progress guarantee is untouched; only the claim *order* changes.
 func (ts *ThreadScan) helpSort(t *simt.Thread) {
-	share := len(ts.shards.sub)/(ts.acksNeed+1) + 1
+	if ts.perNode && t.Node() != ts.collecting && ts.shards.total < ts.stealAt {
+		// Per-node collect below the steal threshold: remote scanners
+		// scan (they must — the barrier counts them) but leave the sort
+		// work to the collecting node, keeping it free of remote fills.
+		return
+	}
+	share := len(ts.shards.sub)/(ts.hs.Need()+1) + 1
 	if ts.nodes > 1 && ts.cfg.Claim == ClaimAffinity {
 		my := t.Node()
 		for pass := 0; pass < 2; pass++ {
@@ -848,7 +1047,12 @@ func (ts *ThreadScan) helpSort(t *simt.Thread) {
 // who sweeps sooner, never whether the memory is reclaimed.
 func (ts *ThreadScan) helpFree(t *simt.Thread) {
 	n := ts.cfg.HelpFreeChunk
-	affinity := ts.nodes > 1 && ts.cfg.Claim == ClaimAffinity
+	// Per-node routing enforces home-gated sweeping regardless of the
+	// claim policy: StealThreshold's contract — below it, remote
+	// scanners do not claim — is part of the routing design, not of
+	// the A6 claim-order ablation, so the rr control may not bypass it
+	// (and bypassing it would also dodge the StolenSweeps accounting).
+	affinity := ts.nodes > 1 && (ts.cfg.Claim == ClaimAffinity || ts.perNode)
 	for n > 0 && len(ts.helpShards) > 0 {
 		// Claim a whole list before freeing (FreeAddr passes
 		// safepoints, and no other helper — or the reclaimer's drain —
@@ -857,6 +1061,7 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 		// helper, preserving the bounded-handler-latency trade
 		// HelpFreeChunk exists for.
 		pick := len(ts.helpShards) - 1
+		stolen := false
 		if affinity {
 			my := t.Node()
 			pick = -1
@@ -867,7 +1072,14 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 				}
 			}
 			if pick < 0 {
-				break // no local list; leave remote ones to their node
+				if !ts.perNode || ts.deferredBacklog() < ts.stealAt {
+					break // no local list; leave remote ones to their node
+				}
+				// Per-node mode with the deferred backlog past the steal
+				// threshold: the home node is not keeping up, so sweep a
+				// remote list anyway — bounded memory beats locality.
+				pick = len(ts.helpShards) - 1
+				stolen = true
 			}
 		}
 		list := ts.helpShards[pick]
@@ -875,6 +1087,9 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 		if !list.claimed {
 			list.claimed = true
 			ts.countClaim(t, list.home) // once per work unit, at first claim
+			if stolen {
+				ts.stats.StolenSweeps++
+			}
 		}
 		take := n
 		if take > len(list.addrs) {
@@ -884,10 +1099,14 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 			addr := list.addrs[len(list.addrs)-1]
 			list.addrs = list.addrs[:len(list.addrs)-1]
 			if ts.nodes > 1 {
+				ts.noteSweep(t, addr)
 				t.Touch(addr)
 			}
 			t.FreeAddr(addr)
 			ts.stats.HelpFreed++
+			if ts.perNode {
+				ts.stats.NodeReclaimed[list.home]++
+			}
 		}
 		n -= take
 		if len(list.addrs) > 0 {
@@ -905,11 +1124,26 @@ func (ts *ThreadScan) helpFree(t *simt.Thread) {
 		addr := ts.helpQueue[len(ts.helpQueue)-1]
 		ts.helpQueue = ts.helpQueue[:len(ts.helpQueue)-1]
 		if ts.nodes > 1 {
+			ts.noteSweep(t, addr)
 			t.Touch(addr)
 		}
 		t.FreeAddr(addr)
 		ts.stats.HelpFreed++
 	}
+}
+
+// deferredBacklog is the total address count across deferred and
+// claimable per-shard sweep lists — the quantity the steal threshold
+// compares against.
+func (ts *ThreadScan) deferredBacklog() int {
+	n := 0
+	for _, list := range ts.helpShards {
+		n += len(list.addrs)
+	}
+	for _, list := range ts.pendingShards {
+		n += len(list.addrs)
+	}
+	return n
 }
 
 // scanThread scans t's registers, stack, and registered heap blocks

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzShardPipeline fuzzes the collect pipeline's pure stages — ring
+// buffering, per-node routing tags, shard routing, sort/dedup, and
+// mark sizing — against their invariants.  The seed corpus encodes the
+// two regression families PR 2's bugs came from: non-power-of-two ring
+// capacities driven across many wraps, and double retires (duplicate
+// addresses that dedup must absorb exactly).
+//
+// Input encoding: byte 0 = shard count K (low 5 bits + 1), byte 1 =
+// node count (low 3 bits + 1), byte 2 = ring capacity (low 4 bits +
+// 1), then 8-byte little-endian words, each an address whose low 3
+// bits select the retiring node (exactly how PerNode routing tags ring
+// entries).
+func FuzzShardPipeline(f *testing.F) {
+	seed := func(k, nodes, ringCap byte, addrs ...uint64) {
+		buf := []byte{k, nodes, ringCap}
+		for _, a := range addrs {
+			buf = binary.LittleEndian.AppendUint64(buf, a)
+		}
+		f.Add(buf)
+	}
+	// Non-power-of-two ring-wrap corpus (PR 2: staggered fills at
+	// capacities where the index math cannot be a mask).
+	seed(4, 1, 3, 8, 16, 24, 32, 40, 48, 56)
+	seed(8, 2, 5, 100<<3, 101<<3, 102<<3, 103<<3, 104<<3, 105<<3)
+	seed(1, 1, 7, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80)
+	seed(16, 4, 11, 1<<12, 2<<12, 3<<12, 4<<12, 5<<12)
+	// Double-retire corpus (PR 2: duplicates must be freed exactly
+	// once, and the dup count must match the multiset).
+	seed(4, 1, 4, 512, 512)
+	seed(8, 2, 6, 1024, 2048, 1024, 2048, 1024)
+	seed(2, 8, 9, 640|1, 640|2, 640|5) // same word, different node tags
+	seed(32, 3, 13, 8, 8, 8, 8, 8, 8, 8, 8)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		k := int(data[0]&0x1F) + 1
+		nodes := int(data[1]&0x07) + 1
+		ringCap := int(data[2]&0x0F) + 1
+		words := data[3:]
+
+		// Decode the retire stream: word-aligned addresses tagged with
+		// a node in the low bits, as freeRouted writes them.
+		var tagged []uint64
+		for len(words) >= 8 {
+			w := binary.LittleEndian.Uint64(words)
+			words = words[8:]
+			addr := w &^ 7
+			node := int(w&7) % nodes
+			tagged = append(tagged, addr|uint64(node))
+		}
+
+		// Stage 1: ring buffering.  Push the stream through a bounded
+		// ring with drains whenever it fills (the owner-drain pattern of
+		// per-node routing); FIFO order and exact occupancy must hold at
+		// every wrap offset, for any capacity.
+		ring := NewRing(ringCap)
+		var drained []uint64
+		flush := func() {
+			before := ring.Len()
+			out, n := ring.Drain(nil)
+			if n != before || len(out) != before {
+				t.Fatalf("drain returned %d of %d buffered", n, before)
+			}
+			drained = append(drained, out...)
+		}
+		for _, v := range tagged {
+			if !ring.Push(v) {
+				if !ring.Full() || ring.Len() != ringCap {
+					t.Fatalf("push refused while not full: len %d cap %d", ring.Len(), ringCap)
+				}
+				flush()
+				if !ring.Push(v) {
+					t.Fatal("push failed into freshly drained ring")
+				}
+			}
+		}
+		flush()
+		if len(drained) != len(tagged) {
+			t.Fatalf("ring lost values: %d of %d", len(drained), len(tagged))
+		}
+		for i, v := range drained {
+			if v != tagged[i] {
+				t.Fatalf("FIFO order broken at %d: %x != %x", i, v, tagged[i])
+			}
+		}
+
+		// Stage 2: routing.  Untag and route into the shard set; the
+		// routing must be a stable partition and home election (or
+		// per-node setHomes) must stay in range.
+		set := newShardSet(k, nodes)
+		for _, v := range drained {
+			addr := v &^ 7
+			si := set.route(addr)
+			if si < 0 || si >= set.k() || si != set.route(addr) {
+				t.Fatalf("unstable or out-of-range route: %d of %d", si, set.k())
+			}
+			set.add(addr, int(v&7))
+		}
+		if set.total != len(drained) {
+			t.Fatalf("shard set counted %d of %d adds", set.total, len(drained))
+		}
+		set.computeHomes()
+		routed := 0
+		for i := range set.sub {
+			for _, a := range set.sub[i].buf {
+				if set.route(a) != i {
+					t.Fatalf("address %x landed outside its partition", a)
+				}
+			}
+			if h := set.sub[i].home; h < 0 || h >= nodes {
+				t.Fatalf("shard %d homed out of range: %d", i, h)
+			}
+			routed += len(set.sub[i].buf)
+		}
+		if routed != len(drained) {
+			t.Fatalf("partition covers %d of %d addresses", routed, len(drained))
+		}
+		for n := 0; n < nodes; n++ {
+			set.setHomes(n)
+			for i := range set.sub {
+				if set.sub[i].home != n {
+					t.Fatalf("setHomes(%d) left shard %d on %d", n, i, set.sub[i].home)
+				}
+			}
+		}
+
+		// Stage 3: sort/dedup/mark per shard.  The dup count must match
+		// the multiset, the output must be strictly sorted (so binary
+		// probes are sound), dedup must be idempotent, and the mark
+		// bitmap sized to the deduped buffer must cover every member a
+		// probe could hit.
+		for i := range set.sub {
+			sh := &set.sub[i]
+			uniq := map[uint64]int{}
+			for _, a := range sh.buf {
+				uniq[a]++
+			}
+			before := len(sh.buf)
+			out, dups := sortDedup(sh.buf)
+			if len(out) != len(uniq) || dups != before-len(uniq) {
+				t.Fatalf("shard %d: dedup kept %d (want %d), dropped %d (want %d)",
+					i, len(out), len(uniq), dups, before-len(uniq))
+			}
+			for j := 1; j < len(out); j++ {
+				if out[j-1] >= out[j] {
+					t.Fatalf("shard %d: not strictly sorted at %d", i, j)
+				}
+			}
+			again, more := sortDedup(out)
+			if more != 0 || len(again) != len(out) {
+				t.Fatalf("shard %d: dedup not idempotent", i)
+			}
+			marks := make([]bool, len(out))
+			for a := range uniq {
+				lo, hi := 0, len(out)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if out[mid] < a {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo >= len(out) || out[lo] != a {
+					t.Fatalf("shard %d: member %x lost by dedup", i, a)
+				}
+				if lo >= len(marks) {
+					t.Fatalf("shard %d: mark index %d outside bitmap %d", i, lo, len(marks))
+				}
+				marks[lo] = true
+			}
+			for j, m := range marks {
+				if !m {
+					t.Fatalf("shard %d: slot %d unreachable by any member probe", i, j)
+				}
+			}
+			sh.buf = out
+		}
+	})
+}

@@ -117,6 +117,15 @@ func (s *shardSet) computeHomes() {
 	}
 }
 
+// setHomes homes every shard on node without an election — the
+// per-node pipeline's case, where the whole group is single-node by
+// construction.  Bookkeeping only; charges nothing.
+func (s *shardSet) setHomes(node int) {
+	for i := range s.sub {
+		s.sub[i].home = node
+	}
+}
+
 // reset empties every shard for the next collect, retaining capacity.
 func (s *shardSet) reset() {
 	for i := range s.sub {

@@ -321,6 +321,110 @@ func WriteNUMATable(w io.Writer, rows []NUMARow) error {
 	return tw.Flush()
 }
 
+// PerNodeRow is one point of the per-node reclamation ablation (A7):
+// one scenario under one retirement-routing regime on a multi-node
+// machine.  The three regimes tell the locality story in order:
+// "global/rr" is the topology-blind pipeline, "global/affinity" is the
+// A6 answer (globally hashed shards, affinity-first *claiming*), and
+// "pernode" is this layer's answer — route at Free time, reclaim
+// node-locally — which eliminates the sweep-side remote fills claiming
+// alone cannot (a claimed shard still holds the other socket's lines).
+type PerNodeRow struct {
+	Scenario string
+	Routing  string // global/rr | global/affinity | pernode
+	Result   ScenarioResult
+}
+
+// AblationPerNode contrasts per-node retirement routing against the
+// globally hashed pipeline under both claim policies (default:
+// numa-split, the worst-case cross-socket shape, and
+// numa-skewed-retire, the rebalancing adversary).  SweepParams pass
+// through as in AblationNUMA: Duration normalizes against the 50ms CLI
+// default, Seed and Quantum apply directly; Cores is ignored (the
+// scenarios fix their own geometry).
+func AblationPerNode(scenarioNames []string, p SweepParams) ([]PerNodeRow, error) {
+	if len(scenarioNames) == 0 {
+		scenarioNames = []string{"numa-split", "numa-skewed-retire"}
+	}
+	regimes := []struct {
+		name    string
+		claim   string
+		perNode bool
+	}{
+		{"global/rr", "rr", false},
+		{"global/affinity", "affinity", false},
+		{"pernode", "affinity", true},
+	}
+	var rows []PerNodeRow
+	for _, name := range scenarioNames {
+		base, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scenario %q", name)
+		}
+		if p.Duration > 0 {
+			base = base.Scale(float64(p.Duration) / 50_000_000)
+		}
+		base.DS = "stack"
+		base.Scheme = "threadscan"
+		if p.Seed != 0 {
+			base.Seed = p.Seed
+		}
+		if p.Quantum > 0 {
+			base.Quantum = p.Quantum
+		}
+		// Routing needs a topology and claimable units, same lift as A6.
+		if base.Nodes < 2 {
+			base.Nodes = 2
+		}
+		if base.PinPolicy == "" || base.PinPolicy == "none" {
+			base.PinPolicy = "rr"
+		}
+		if base.Shards <= 1 {
+			base.Shards = 8
+			base.HelpFree = true
+		}
+		for _, reg := range regimes {
+			spec := base
+			spec.ClaimPolicy = reg.claim
+			spec.PerNode = reg.perNode
+			r, err := RunScenario(spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PerNodeRow{Scenario: name, Routing: reg.name, Result: r})
+		}
+	}
+	return rows, nil
+}
+
+// WritePerNodeTable renders the A7 ablation: sweep-side remote fills
+// (the metric routing exists to zero), machine-wide remote fills,
+// claim locality, steal activity, and the per-node collect balance.
+func WritePerNodeTable(w io.Writer, rows []PerNodeRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A7: per-node retirement routing (stack/threadscan)")
+	fmt.Fprintln(tw, "scenario\trouting\tthroughput\tcollects\tsweep-remote-fills\tremote-fills\tlocal-claims\tremote-claims\tstolen\tnode-collects")
+	for _, row := range rows {
+		c := row.Result.Core
+		nodeCollects := "-"
+		if len(c.NodeCollects) > 0 {
+			nodeCollects = ""
+			for i, n := range c.NodeCollects {
+				if i > 0 {
+					nodeCollects += "/"
+				}
+				nodeCollects += fmt.Sprintf("%d", n)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			row.Scenario, row.Routing, row.Result.Throughput, c.Collects,
+			c.SweepRemoteFills, row.Result.Sim.RemoteLineFills,
+			c.LocalShardClaims, c.RemoteShardClaims,
+			c.StolenCollects+c.StolenSweeps, nodeCollects)
+	}
+	return tw.Flush()
+}
+
 // StallRow is one point of the errant-thread experiment (A4): the same
 // application stall under Epoch vs ThreadScan.
 type StallRow struct {

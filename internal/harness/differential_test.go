@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"testing"
+
+	"threadscan/internal/workload"
+)
+
+// The cross-scheme differential harness: five reclamation scheme
+// families (leaky, hazard, epoch, threadscan, stacktrack — slow-epoch
+// is an epoch configuration), every builtin scenario, one seed.
+//
+// Two layers:
+//
+//   - Sequential differential: with one worker on an op budget
+//     (Scenario.OpsPerWorker) the executed op stream is a function of
+//     the seed alone, so every scheme must produce the *identical*
+//     op-trace digest and final structure size — reclamation is
+//     semantically invisible to the data structure.  Any divergence
+//     means a scheme corrupted a structure (or the engine leaked
+//     scheme cost into the op stream).
+//
+//   - Full-suite soundness: the real (timed, concurrent, churning)
+//     scenarios run under every scheme on the *checked* heap, which
+//     turns any use-after-free or double free into a run-failing
+//     violation.  On top of that: no accounting skew, no leaked
+//     registrations, and retired == freed + pending for every scheme.
+
+// differentialSchemes are the five scheme families under test.
+var differentialSchemes = []string{"leaky", "hazard", "epoch", "threadscan", "stacktrack"}
+
+// TestDifferentialSchemesAgreeSequential: serialized op-budget variant
+// of every builtin scenario; all five schemes must agree bit-for-bit
+// on the op trace and the final structure.
+func TestDifferentialSchemesAgreeSequential(t *testing.T) {
+	for _, base := range workload.Builtins() {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			spec := base
+			spec.DS = "list"
+			spec.Scheme = ""
+			spec.Threads = 1
+			spec.Cores = 1
+			spec.Nodes = 1 // serialized: topology out of the picture
+			spec.PinPolicy = ""
+			spec.WorkerMix = nil // one worker; role groups degenerate
+			spec.Churn = nil     // churn timing is scheme-dependent
+			spec.PerNode = false
+			spec.Prefill = 128
+			spec.Seed = 17
+			spec.OpsPerWorker = 2000
+
+			type outcome struct {
+				scheme    string
+				trace     uint64
+				finalSize int
+				ops       uint64
+			}
+			var ref *outcome
+			for _, scheme := range differentialSchemes {
+				s := spec
+				s.Scheme = scheme
+				r, err := RunScenario(s)
+				if err != nil {
+					t.Fatalf("%s: %v", scheme, err)
+				}
+				if r.AccountingError != "" {
+					t.Fatalf("%s: %s", scheme, r.AccountingError)
+				}
+				got := &outcome{scheme: scheme, trace: r.TraceHash, finalSize: r.FinalSize, ops: r.Ops}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if got.trace != ref.trace || got.finalSize != ref.finalSize {
+					t.Errorf("%s diverged from %s:\n  trace %x != %x\n  final size %d != %d",
+						scheme, ref.scheme, got.trace, ref.trace, got.finalSize, ref.finalSize)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialFullSuiteSoundness: every builtin scenario, every
+// scheme, the real concurrent shape (threads, churn, pinning, per-node
+// routing) on the checked heap.  A use-after-free or double free fails
+// the run; the assertions below catch quieter corruption.
+func TestDifferentialFullSuiteSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential suite skipped in -short")
+	}
+	for _, base := range workload.Builtins() {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			for _, scheme := range differentialSchemes {
+				spec := base.Scale(0.125)
+				spec.DS = "stack"
+				spec.Scheme = scheme
+				spec.Seed = 7
+				r, err := RunScenario(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", scheme, err)
+				}
+				if r.AccountingError != "" {
+					t.Errorf("%s: %s", scheme, r.AccountingError)
+				}
+				st := r.SchemeStats
+				if scheme == "leaky" {
+					// Leaky's contract is the inverse: it frees nothing.
+					if st.Freed != 0 {
+						t.Errorf("leaky freed %d nodes", st.Freed)
+					}
+					continue
+				}
+				if st.Retired != st.Freed+st.Pending {
+					t.Errorf("%s: retired %d != freed %d + pending %d",
+						scheme, st.Retired, st.Freed, st.Pending)
+				}
+				if r.LeakedRegistrations > 0 {
+					t.Errorf("%s: %d leaked registrations", scheme, r.LeakedRegistrations)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDigestReproducible: the same scenario, scheme, and
+// seed must reproduce the op-trace digest exactly — per scheme, on the
+// full concurrent shape.  This is the determinism contract that makes
+// the sequential differential meaningful (and baseline replay
+// possible at all).
+func TestDifferentialDigestReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("digest reproducibility skipped in -short")
+	}
+	for _, scheme := range differentialSchemes {
+		spec, ok := workload.ByName("retire-burst")
+		if !ok {
+			t.Fatal("retire-burst builtin missing")
+		}
+		spec = spec.Scale(0.25)
+		spec.DS, spec.Scheme, spec.Seed = "queue", scheme, 29
+		a, err := RunScenario(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		b, err := RunScenario(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if a.TraceHash != b.TraceHash || a.Ops != b.Ops || a.ElapsedCycles != b.ElapsedCycles {
+			t.Errorf("%s: reruns diverged: trace %x/%x ops %d/%d cycles %d/%d",
+				scheme, a.TraceHash, b.TraceHash, a.Ops, b.Ops, a.ElapsedCycles, b.ElapsedCycles)
+		}
+	}
+}

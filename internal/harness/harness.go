@@ -52,16 +52,18 @@ type Config struct {
 	Buckets   int // hash; 0 = KeyRange/32 (paper: expected bucket 32)
 
 	// Scheme parameters.
-	BufferSize  int              // threadscan delete buffer; 0 = 1024
-	HelpFree    bool             // threadscan §7 extension
-	Shards      int              // threadscan collect shards K; 0 = 1 (serial)
-	Watermark   int              // threadscan global collect watermark; 0 = off
-	Claim       core.ClaimPolicy // threadscan shard-claim order (NUMA ablation A6)
-	Lookup      core.LookupKind  // threadscan scan lookup (ablation A3)
-	Batch       int              // hazard/epoch/stacktrack batch; 0 = 1024
-	SlowDelay   int64            // slow-epoch cleanup stall; 0 = 40ms
-	DelayVictim int              // slow-epoch errant thread id; 0 = thread 0
-	SegmentLen  int              // stacktrack segment; 0 = 16
+	BufferSize     int              // threadscan delete buffer; 0 = 1024
+	HelpFree       bool             // threadscan §7 extension
+	Shards         int              // threadscan collect shards K; 0 = 1 (serial)
+	Watermark      int              // threadscan global collect watermark; 0 = off
+	Claim          core.ClaimPolicy // threadscan shard-claim order (NUMA ablation A6)
+	PerNode        bool             // threadscan per-node routing + node-local reclaimers (A7)
+	StealThreshold int              // threadscan per-node steal threshold; 0 = core default
+	Lookup         core.LookupKind  // threadscan scan lookup (ablation A3)
+	Batch          int              // hazard/epoch/stacktrack batch; 0 = 1024
+	SlowDelay      int64            // slow-epoch cleanup stall; 0 = 40ms
+	DelayVictim    int              // slow-epoch errant thread id; 0 = thread 0
+	SegmentLen     int              // stacktrack segment; 0 = 16
 
 	// Errant-thread injection (ablation A4): thread 0 executes one
 	// empty operation stalled for StallCycles every StallEvery ops.
@@ -179,7 +181,8 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 	case "threadscan":
 		ts := reclaim.NewThreadScan(sim, core.Config{
 			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
-			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim})
+			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim,
+			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold})
 		return ts, ts.Core(), nil
 	case "stacktrack":
 		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{

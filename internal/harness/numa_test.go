@@ -36,12 +36,16 @@ func TestFlatModelMatchesCapturedBaseline(t *testing.T) {
 	}
 
 	// Replay a cross-section of the grid: one flat scenario per family
-	// against distinct structures and schemes.  (The full grid is the
-	// CI bench job's business; this keeps `go test` minutes-free.)
+	// against distinct structures and schemes, plus a multi-node row —
+	// Nodes > 1 with per-node routing *disabled* must also stay
+	// bit-identical, the per-node refactor's safety contract.  (The
+	// full grid is the CI bench job's business; this keeps `go test`
+	// minutes-free.)
 	want := map[[3]string]bool{
 		{"uniform-baseline", "list", "threadscan"}: true,
 		{"delete-storm", "stack", "epoch"}:         true,
 		{"thread-churn", "queue", "threadscan"}:    true,
+		{"numa-split", "stack", "threadscan"}:      true,
 	}
 	replayed := 0
 	for _, b := range baseline {

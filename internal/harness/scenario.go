@@ -33,6 +33,11 @@ type ScenarioResult struct {
 	Nodes     int    `json:"nodes,omitempty"`
 	PinPolicy string `json:"pin_policy,omitempty"`
 
+	// PerNode reports whether threadscan's per-node retirement routing
+	// was requested; the per-node counter breakdowns live in
+	// SchemeStats (NodeCollects, NodeReclaimed, SweepRemoteFills...).
+	PerNode bool `json:"per_node,omitempty"`
+
 	Ops            uint64  `json:"ops"`
 	ElapsedCycles  int64   `json:"elapsed_cycles"`
 	VirtualSeconds float64 `json:"virtual_seconds"`
@@ -196,28 +201,22 @@ type scenarioRun struct {
 
 // work drives ops from base until deadline, crossing phase boundaries
 // at absolute virtual times so all workers change phase together.
+// With Scenario.OpsPerWorker set, the deadline is replaced by a fixed
+// operation budget and phase boundaries land proportionally along the
+// op index — the executed stream then depends only on the seed, not on
+// the scheme's cost model (the differential harness's lever).
 func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 	rng := th.RNG()
 	tr := workload.NewTrace()
 	phase := 0
 	override := r.mixOf[th.ID()]
 	gen := workload.NewKeyGen(r.spec.Phases[0].Dist, r.spec.KeyRange, rng)
-	for th.Now() < deadline {
-		for phase < len(r.spec.Phases)-1 && th.Now() >= base+r.phaseEnd[phase] {
-			phase++
-			gen = workload.NewKeyGen(r.spec.Phases[phase].Dist, r.spec.KeyRange, rng)
-		}
-		p := &r.spec.Phases[phase]
-		phaseStart := base
-		if phase > 0 {
-			phaseStart += r.phaseEnd[phase-1]
-		}
-		frac := float64(th.Now()-phaseStart) / float64(p.Duration)
+	doOp := func(frac float64) {
 		if frac >= 1 {
 			frac = 0.999999 // oversubscribed final-phase overhang
 		}
 		key := gen.Key(frac)
-		mix := p.Mix
+		mix := r.spec.Phases[phase].Mix
 		if override != nil {
 			mix = *override
 		}
@@ -225,6 +224,36 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 		ok := r.target.Apply(th, op, key)
 		tr.Record(op, key, ok)
 		th.AddOps(1)
+	}
+	if budget := r.spec.OpsPerWorker; budget > 0 {
+		total := r.spec.TotalDuration()
+		for i := 0; i < budget; i++ {
+			for phase < len(r.spec.Phases)-1 && int64(i)*total >= r.phaseEnd[phase]*int64(budget) {
+				phase++
+				gen = workload.NewKeyGen(r.spec.Phases[phase].Dist, r.spec.KeyRange, rng)
+			}
+			startOp := int64(0)
+			if phase > 0 {
+				startOp = r.phaseEnd[phase-1] * int64(budget) / total
+			}
+			phaseOps := r.spec.Phases[phase].Duration * int64(budget) / total
+			if phaseOps < 1 {
+				phaseOps = 1
+			}
+			doOp(float64(int64(i)-startOp) / float64(phaseOps))
+		}
+	} else {
+		for th.Now() < deadline {
+			for phase < len(r.spec.Phases)-1 && th.Now() >= base+r.phaseEnd[phase] {
+				phase++
+				gen = workload.NewKeyGen(r.spec.Phases[phase].Dist, r.spec.KeyRange, rng)
+			}
+			phaseStart := base
+			if phase > 0 {
+				phaseStart += r.phaseEnd[phase-1]
+			}
+			doOp(float64(th.Now()-phaseStart) / float64(r.spec.Phases[phase].Duration))
+		}
 	}
 	r.traces[th.ID()] = tr.Sum()
 }
@@ -262,14 +291,16 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		claim = core.ClaimRoundRobin
 	}
 	schemeCfg := Config{
-		Scheme:      spec.Scheme,
-		BufferSize:  spec.BufferSize,
-		Batch:       spec.Batch,
-		Shards:      spec.Shards,
-		Watermark:   spec.Watermark,
-		HelpFree:    spec.HelpFree,
-		Claim:       claim,
-		DelayVictim: 1,
+		Scheme:         spec.Scheme,
+		BufferSize:     spec.BufferSize,
+		Batch:          spec.Batch,
+		Shards:         spec.Shards,
+		Watermark:      spec.Watermark,
+		HelpFree:       spec.HelpFree,
+		Claim:          claim,
+		PerNode:        spec.PerNode,
+		StealThreshold: spec.StealThreshold,
+		DelayVictim:    1,
 	}
 	schemeCfg.fill()
 
@@ -278,13 +309,19 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		return ScenarioResult{}, err
 	}
 
+	// An op-budget run is bounded by work, not the clock; give the
+	// watchdog headroom for the slowest scheme's per-op cost.
+	watchdog := total*int64(workers+4)*4 + 4_000_000_000
+	if spec.OpsPerWorker > 0 {
+		watchdog += int64(spec.OpsPerWorker) * int64(workers+4) * 100_000
+	}
 	sim := simt.New(simt.Config{
 		Cores:      spec.Cores,
 		Nodes:      spec.Nodes,
 		Quantum:    quantum,
 		Seed:       spec.Seed,
 		StackWords: 256,
-		MaxCycles:  total*int64(workers+4)*4 + 4_000_000_000,
+		MaxCycles:  watchdog,
 		Heap: simmem.Config{
 			Words: scenarioHeapWords(&spec, nodeWords), Check: true, Poison: true},
 	})
@@ -414,6 +451,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		Cores:               spec.Cores,
 		Nodes:               spec.Nodes,
 		PinPolicy:           spec.PinPolicy,
+		PerNode:             spec.PerNode,
 		ChurnWorkers:        r.churned,
 		LeakedRegistrations: -1,
 		Footprint:           r.sampler.fp,

@@ -108,6 +108,18 @@ type Stats struct {
 	LocalShardClaims  uint64 // shard work units claimed on their home node
 	RemoteShardClaims uint64 // shard work units claimed cross-node
 	RemoteLineFills   uint64 // machine-wide cross-node line fills (sim stat)
+
+	// Per-node reclamation counters (ThreadScan with PerNode routing;
+	// zero/nil elsewhere).  SweepRemoteFills counts steady-state sweep
+	// frees that touched a remotely-homed line (the traffic per-node
+	// routing eliminates); NodeCollects/NodeReclaimed break collects
+	// and frees down by home node; the Stolen counters record
+	// cross-node rebalancing past the steal threshold.
+	SweepRemoteFills uint64
+	NodeCollects     []uint64
+	NodeReclaimed    []uint64
+	StolenCollects   uint64
+	StolenSweeps     uint64
 }
 
 // maxThreadID sizes per-thread state arrays.  Schemes grow their

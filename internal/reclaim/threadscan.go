@@ -69,5 +69,10 @@ func (s *ThreadScan) Stats() Stats {
 		LocalShardClaims:  c.LocalShardClaims,
 		RemoteShardClaims: c.RemoteShardClaims,
 		RemoteLineFills:   s.sim.Stats().RemoteLineFills,
+		SweepRemoteFills:  c.SweepRemoteFills,
+		NodeCollects:      c.NodeCollects,
+		NodeReclaimed:     c.NodeReclaimed,
+		StolenCollects:    c.StolenCollects,
+		StolenSweeps:      c.StolenSweeps,
 	}
 }

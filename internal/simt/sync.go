@@ -135,6 +135,55 @@ func (m *Mutex) Unlock(t *Thread) {
 // Locked reports whether the mutex is currently held (diagnostics).
 func (m *Mutex) Locked() bool { return m.locked }
 
+// Handshake is the one-to-many acknowledgement barrier at the heart of
+// a scan phase: an owner arms it, registers one expectation per party
+// it signals, and spins until every party has acked.  ThreadScan's
+// collect uses it as the scan barrier — and, under per-node
+// reclamation, it is the *only* cross-node synchronization a collect
+// performs: aggregation and sweep stay node-local, the handshake alone
+// spans the machine.
+//
+// Cycle accounting is deliberately asymmetric, mirroring the protocol:
+// Ack is free here (the acking side charges its own store+fence at the
+// call site, exactly as a real ACK flag write would cost), while Await
+// burns the owner's cycles in Pause spin-waits — the reclaimer-side
+// wait the paper's Figure 4 charges to oversubscription.
+type Handshake struct {
+	sim  *Sim
+	name string
+	need int
+	got  int
+}
+
+// NewHandshake creates a handshake; name appears in diagnostics.
+func (s *Sim) NewHandshake(name string) *Handshake {
+	return &Handshake{sim: s, name: name}
+}
+
+// Arm resets the handshake for a new phase: zero expected, zero acked.
+func (h *Handshake) Arm() { h.need, h.got = 0, 0 }
+
+// Expect registers n additional parties the owner will wait for.
+func (h *Handshake) Expect(n int) { h.need += n }
+
+// Ack records one party's acknowledgement.  Bookkeeping only — the
+// caller charges the visible-store cost of its ACK itself.
+func (h *Handshake) Ack(*Thread) { h.got++ }
+
+// Await spins (interruptibly — Pause passes safepoints, so the owner
+// still answers signals) until every expected party has acked.
+func (h *Handshake) Await(t *Thread) {
+	for h.got < h.need {
+		t.Pause()
+	}
+}
+
+// Need returns the number of parties the current phase expects.
+func (h *Handshake) Need() int { return h.need }
+
+// Outstanding returns how many expected acks have not yet arrived.
+func (h *Handshake) Outstanding() int { return h.need - h.got }
+
 // Barrier blocks threads until n of them arrive, then releases the
 // generation together.  Used by workloads to align start lines.
 type Barrier struct {

@@ -217,3 +217,55 @@ func TestQuickMutexNeverCorrupts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHandshakeScanBarrier: the owner arms the handshake, signals its
+// expectations, and Await releases only after every party acked —
+// while still answering its own interrupts (Await spins through
+// safepoints).  This is the collect's scan barrier extracted.
+func TestHandshakeScanBarrier(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cores = 4
+	s := New(cfg)
+	hs := s.NewHandshake("test")
+	const parties = 3
+	released := false
+	acked := 0
+	go1 := false
+	for i := 0; i < parties; i++ {
+		s.Spawn("party", func(th *Thread) {
+			for !go1 {
+				th.Pause()
+			}
+			th.Work(int64(500 * (th.ID() + 1))) // stagger the acks
+			acked++
+			hs.Ack(th)
+		})
+	}
+	s.Spawn("owner", func(th *Thread) {
+		hs.Arm()
+		hs.Expect(parties)
+		if hs.Outstanding() != parties || hs.Need() != parties {
+			t.Errorf("armed handshake: need %d outstanding %d", hs.Need(), hs.Outstanding())
+		}
+		go1 = true
+		hs.Await(th)
+		released = true
+		if acked != parties {
+			t.Errorf("owner released after %d of %d acks", acked, parties)
+		}
+		if hs.Outstanding() != 0 {
+			t.Errorf("outstanding %d after release", hs.Outstanding())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		t.Fatal("owner never released")
+	}
+	// Re-arming resets the generation.
+	hs.Arm()
+	if hs.Need() != 0 || hs.Outstanding() != 0 {
+		t.Fatalf("re-armed handshake not empty: need %d", hs.Need())
+	}
+}

@@ -125,9 +125,41 @@ func Builtins() []Scenario {
 	balanced.HelpFree = true
 	balanced.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
 
+	// Per-node reclamation scenarios.  per-node-reclaim is numa-split's
+	// shape with retirement routed to per-node shard groups at Free
+	// time and one reclaimer per node — the configuration that drives
+	// sweep-side remote fills to zero.  numa-skewed-retire is the
+	// adversary for its rebalancing story: every retiring thread lives
+	// on node 0 (node 1 only reads), so without stealing node 0 would
+	// run every collect alone; a low steal threshold makes node 1's
+	// scanners share the sort and sweep work.
+	perNodeReclaim := quickBase("per-node-reclaim",
+		"numa-split's producer/consumer shape with per-node retirement routing and one reclaimer per node")
+	perNodeReclaim.Nodes = 2
+	perNodeReclaim.PinPolicy = "split"
+	perNodeReclaim.WorkerMix = producerConsumer
+	perNodeReclaim.Shards = 8
+	perNodeReclaim.HelpFree = true
+	perNodeReclaim.PerNode = true
+	perNodeReclaim.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
+
+	skewedRetire := quickBase("numa-skewed-retire",
+		"one node retires everything while the other only reads: the per-node pipeline's rebalancing adversary")
+	skewedRetire.Nodes = 2
+	skewedRetire.PinPolicy = "split"
+	skewedRetire.WorkerMix = []Mix{
+		{InsertPct: 40, RemovePct: 40}, // node 0: churns hard, retires everything
+		{InsertPct: 0, RemovePct: 0},   // node 1: pure readers
+	}
+	skewedRetire.Shards = 8
+	skewedRetire.HelpFree = true
+	skewedRetire.PerNode = true
+	skewedRetire.StealThreshold = 256
+	skewedRetire.Phases = []Phase{{Name: "lopsided", Duration: 4_000_000, Mix: heavy}}
+
 	return []Scenario{
 		baseline, zipf, hotspot, window, storm, burst, churn, over, overChurn,
-		split, balanced,
+		split, balanced, perNodeReclaim, skewedRetire,
 	}
 }
 

@@ -166,6 +166,29 @@ type Scenario struct {
 	// remote) or "rr" (index order, topology-blind).
 	ClaimPolicy string
 
+	// PerNode enables threadscan's per-node retirement routing and
+	// node-local reclaimers: retired addresses are routed to per-node
+	// shard groups at Free time and each node collects over its own
+	// group, synchronizing cross-node only at the scan barrier.  Inert
+	// on a flat machine (Nodes <= 1) and for other schemes.
+	PerNode bool
+
+	// StealThreshold is the per-node backlog (addresses) past which
+	// other nodes steal reclamation work under PerNode — the
+	// rebalancing knob for one-node-retires-everything skew.  0 =
+	// core's default (4x the per-node collect trigger).
+	StealThreshold int
+
+	// OpsPerWorker, when positive, switches the engine from the
+	// virtual-time deadline to a fixed operation budget: every worker
+	// executes exactly this many operations, with phase boundaries
+	// placed proportionally along the op index instead of the clock.
+	// This makes the executed op stream — and, for a single-threaded
+	// run, the op-trace digest — a function of the seed alone,
+	// independent of scheme cost models: the property the cross-scheme
+	// differential harness asserts on.
+	OpsPerWorker int
+
 	// Simulator knobs (0 = defaults).
 	Quantum     int64
 	HeapWords   int
