@@ -36,7 +36,7 @@ func main() {
 	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
-		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode")
+		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode | allocpool")
 		single   = flag.Bool("single", false, "run a single experiment and dump its stats")
 		dsName   = flag.String("ds", "all", "data structure: list | hash | skiplist | all")
 		scheme   = flag.String("scheme", "threadscan", "scheme for -single")
@@ -229,6 +229,14 @@ func runAblation(kind string, params harness.SweepParams, ablScenario string, sh
 			fatal(err)
 		}
 		if err := harness.WritePerNodeTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "allocpool":
+		rows, err := harness.AblationAllocPool(splitScenarios(ablScenario), params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteAllocPoolTable(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
 	default:

@@ -11,6 +11,7 @@ import (
 
 	"threadscan/internal/core"
 	"threadscan/internal/harness"
+	"threadscan/internal/simmem"
 	"threadscan/internal/workload"
 )
 
@@ -36,6 +37,7 @@ func runScenarios(args []string) {
 		claim    = fs.String("claim", "", `threadscan shard-claim order: "affinity" or "rr" ("" = scenario default)`)
 		perNode  = fs.Bool("pernode", false, "enable threadscan per-node retirement routing + node-local reclaimers")
 		steal    = fs.Int("steal", 0, "threadscan per-node steal threshold in addresses (0 = default)")
+		allocPol = fs.String("allocpolicy", "", `allocator NUMA policy: "global", "localalloc", "membind", or "interleave" ("" = scenario default)`)
 		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
 		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
@@ -75,7 +77,7 @@ func runScenarios(args []string) {
 	// policy string) is a usage error at parse time, not a mid-grid
 	// failure — and never a silent clamp that reports results for a
 	// different machine than the one asked for.
-	if err := validateTopologyFlags(specs, *nodes, *pin, *claim, *perNode, *steal); err != nil {
+	if err := validateTopologyFlags(specs, *nodes, *pin, *claim, *perNode, *steal, *allocPol); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbench scenarios:", err)
 		fs.Usage()
 		os.Exit(2)
@@ -112,6 +114,9 @@ func runScenarios(args []string) {
 				}
 				if *steal > 0 {
 					spec.StealThreshold = *steal
+				}
+				if *allocPol != "" {
+					spec.AllocPolicy = *allocPol
 				}
 				r, err := harness.RunScenario(spec)
 				if err != nil {
@@ -159,7 +164,7 @@ func runScenarios(args []string) {
 // workload layer clamps Nodes to the core count for programmatic
 // callers; at the CLI that clamp would silently benchmark a different
 // machine than the user asked for, so here it is a usage error.
-func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim string, perNode bool, steal int) error {
+func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim string, perNode bool, steal int, allocPol string) error {
 	switch pin {
 	case "", "none", "rr", "split":
 	default:
@@ -169,6 +174,10 @@ func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim stri
 	case "", "affinity", "rr":
 	default:
 		return fmt.Errorf(`unknown -claim order %q (want "affinity" or "rr")`, claim)
+	}
+	pol, err := simmem.ParsePolicy(allocPol)
+	if err != nil {
+		return fmt.Errorf("-allocpolicy: %w", err)
 	}
 	if nodes < 0 {
 		return fmt.Errorf("-nodes %d: node count cannot be negative", nodes)
@@ -200,6 +209,18 @@ func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim stri
 			return fmt.Errorf("scenario %q would run flat (%d node): -pernode needs a multi-node topology (raise -nodes)",
 				sc.Name, effNodes)
 		}
+		// A per-node allocation policy on a flat run would silently
+		// benchmark the single global pool under the policy's name —
+		// judge the *effective* policy of the run (flag override, else
+		// the scenario's own knob), exactly like -pernode above.
+		effPolicy := pol
+		if allocPol == "" {
+			effPolicy, _ = simmem.ParsePolicy(sc.AllocPolicy) // Fill validated it
+		}
+		if effPolicy != simmem.PolicyGlobal && effNodes <= 1 {
+			return fmt.Errorf("scenario %q would run flat (%d node): allocation policy %s needs a multi-node topology (raise -nodes)",
+				sc.Name, effNodes, effPolicy)
+		}
 	}
 	return nil
 }
@@ -210,7 +231,7 @@ func validateTopologyFlags(specs []workload.Scenario, nodes int, pin, claim stri
 // neither output is the poor relation.
 func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tnodes\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires\thelp-sorted\thelp-swept\tlocal-claims\tremote-claims\tremote-fills\tsweep-remote\tstolen")
+	fmt.Fprintln(tw, "scenario\tds\tscheme\tthr/cores\tnodes\talloc\tops\tops/vsec\tpeak-garbage-nodes\tpeak-garbage-words\tfinal-garbage\tchurned\tcollect-cyc\tdbl-retires\thelp-sorted\thelp-swept\tlocal-claims\tremote-claims\tremote-fills\tsweep-remote\tstolen\tremote-allocs\thome-frees\tremote-frees")
 	for _, r := range results {
 		var collectCyc int64
 		var dblRetires, helpSorted, helpSwept, localClaims, remoteClaims uint64
@@ -229,12 +250,16 @@ func writeScenarioTable(w io.Writer, results []harness.ScenarioResult) {
 		if nodes == 0 {
 			nodes = 1
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, nodes, r.Ops, r.Throughput,
+		alloc := r.AllocPolicy
+		if alloc == "" {
+			alloc = "global"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%d\t%s\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Name, r.DS, r.Scheme, r.Threads, r.Cores, nodes, alloc, r.Ops, r.Throughput,
 			r.Footprint.PeakRetiredNodes, r.Footprint.PeakRetiredWords,
 			r.Footprint.FinalRetiredNodes, r.ChurnWorkers, collectCyc, dblRetires,
 			helpSorted, helpSwept, localClaims, remoteClaims, r.Sim.RemoteLineFills,
-			sweepRemote, stolen)
+			sweepRemote, stolen, r.Heap.RemoteAllocs, r.Heap.HomeFrees, r.Heap.RemoteFrees)
 	}
 	tw.Flush()
 }

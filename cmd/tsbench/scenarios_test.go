@@ -7,6 +7,16 @@ import (
 	"threadscan/internal/workload"
 )
 
+// builtinByName returns the named builtin as a one-element spec slice.
+func builtinByName(t *testing.T, name string) []workload.Scenario {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("%s builtin missing", name)
+	}
+	return []workload.Scenario{s}
+}
+
 // validateTopologyFlags must catch bad topology requests at flag-parse
 // time — before any scenario runs — instead of silently clamping to a
 // different machine (the old behavior) or panicking mid-grid.
@@ -22,14 +32,15 @@ func TestValidateTopologyFlags(t *testing.T) {
 	}
 
 	cases := []struct {
-		name    string
-		specs   []workload.Scenario
-		nodes   int
-		pin     string
-		claim   string
-		perNode bool
-		steal   int
-		wantErr string // substring; "" = must pass
+		name     string
+		specs    []workload.Scenario
+		nodes    int
+		pin      string
+		claim    string
+		perNode  bool
+		steal    int
+		allocPol string
+		wantErr  string // substring; "" = must pass
 	}{
 		{name: "defaults pass", specs: builtins},
 		{name: "nodes within cores", specs: builtins, nodes: 2, pin: "rr"},
@@ -53,9 +64,21 @@ func TestValidateTopologyFlags(t *testing.T) {
 		{name: "pernode on numa scenario passes", specs: []workload.Scenario{split}, perNode: true},
 		{name: "pernode beyond tag bits rejected", specs: []workload.Scenario{split}, nodes: 9, perNode: true,
 			wantErr: "at most 8 nodes"},
+		{name: "unknown alloc policy rejected", specs: builtins, allocPol: "firsttouch",
+			wantErr: "allocation policy"},
+		{name: "alloc policy on flat scenario rejected", specs: []workload.Scenario{flat}, allocPol: "localalloc",
+			wantErr: "multi-node"},
+		{name: "alloc policy flattened by -nodes 1 rejected", specs: []workload.Scenario{split}, nodes: 1, allocPol: "membind",
+			wantErr: "multi-node"},
+		{name: "global alloc policy on flat scenario passes", specs: []workload.Scenario{flat}, allocPol: "global"},
+		{name: "builtin alloc policy flattened by -nodes 1 rejected", specs: builtinByName(t, "membind-contrast"), nodes: 1,
+			wantErr: "multi-node"},
+		{name: "builtin alloc policy with its own topology passes", specs: builtinByName(t, "membind-contrast")},
+		{name: "alloc policy with nodes passes", specs: []workload.Scenario{flat}, nodes: 2, allocPol: "interleave"},
+		{name: "alloc policy on numa scenario passes", specs: []workload.Scenario{split}, allocPol: "localalloc"},
 	}
 	for _, tc := range cases {
-		err := validateTopologyFlags(tc.specs, tc.nodes, tc.pin, tc.claim, tc.perNode, tc.steal)
+		err := validateTopologyFlags(tc.specs, tc.nodes, tc.pin, tc.claim, tc.perNode, tc.steal, tc.allocPol)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", tc.name, err)

@@ -425,6 +425,112 @@ func WritePerNodeTable(w io.Writer, rows []PerNodeRow) error {
 	return tw.Flush()
 }
 
+// AllocPoolRow is one point of the allocation-subsystem ablation (A8):
+// one scenario under one allocator policy x retirement-routing regime
+// on a multi-node machine.  The regimes tell the allocation-locality
+// story in order: "global" is the single machine-wide pool (PR 4's end
+// state — the sweep is node-local but a freed block is recycled by
+// whichever node allocs next), "interleave" and "membind" are the
+// numactl contrast points, and "localalloc" — with and without
+// per-node retirement routing — is this layer's answer: per-node pools
+// serve allocs node-locally and sweep-to-home routing returns every
+// freed block to its resident node, closing the retire-on-N →
+// collect-on-N → realloc-on-N loop.
+type AllocPoolRow struct {
+	Scenario string
+	Policy   string // global | localalloc | membind | interleave
+	Routing  string // global | pernode
+	Result   ScenarioResult
+}
+
+// AblationAllocPool crosses allocator policies with retirement routing
+// on the NUMA scenarios (default numa-split, the worst-case
+// cross-socket shape, with realloc-local's closed loop as the second
+// subject).  SweepParams pass through as in AblationNUMA: Duration
+// normalizes against the 50ms CLI default, Seed and Quantum apply
+// directly; Cores is ignored (the scenarios fix their own geometry).
+func AblationAllocPool(scenarioNames []string, p SweepParams) ([]AllocPoolRow, error) {
+	if len(scenarioNames) == 0 {
+		scenarioNames = []string{"numa-split", "realloc-local"}
+	}
+	regimes := []struct {
+		policy  string
+		perNode bool
+	}{
+		{"global", false},
+		{"global", true},
+		{"interleave", true},
+		{"membind", true},
+		{"localalloc", false},
+		{"localalloc", true},
+	}
+	var rows []AllocPoolRow
+	for _, name := range scenarioNames {
+		base, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scenario %q", name)
+		}
+		if p.Duration > 0 {
+			base = base.Scale(float64(p.Duration) / 50_000_000)
+		}
+		base.DS = "stack"
+		base.Scheme = "threadscan"
+		if p.Seed != 0 {
+			base.Seed = p.Seed
+		}
+		if p.Quantum > 0 {
+			base.Quantum = p.Quantum
+		}
+		// Pools need a topology and the routing needs claim units, the
+		// same lift as A6/A7.
+		if base.Nodes < 2 {
+			base.Nodes = 2
+		}
+		if base.PinPolicy == "" || base.PinPolicy == "none" {
+			base.PinPolicy = "rr"
+		}
+		if base.Shards <= 1 {
+			base.Shards = 8
+			base.HelpFree = true
+		}
+		for _, reg := range regimes {
+			spec := base
+			spec.AllocPolicy = reg.policy
+			spec.PerNode = reg.perNode
+			r, err := RunScenario(spec)
+			if err != nil {
+				return nil, err
+			}
+			routing := "global"
+			if reg.perNode {
+				routing = "pernode"
+			}
+			rows = append(rows, AllocPoolRow{
+				Scenario: name, Policy: reg.policy, Routing: routing, Result: r})
+		}
+	}
+	return rows, nil
+}
+
+// WriteAllocPoolTable renders the A8 ablation: alloc-side locality
+// (remote hand-outs and their charged fills), free routing
+// (home/remote frees), the sweep-side fills A7 zeroes, and throughput
+// per policy and routing regime.
+func WriteAllocPoolTable(w io.Writer, rows []AllocPoolRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A8: NUMA allocation pools (stack/threadscan)")
+	fmt.Fprintln(tw, "scenario\tpolicy\trouting\tthroughput\tremote-allocs\talloc-remote-fills\thome-frees\tremote-frees\tsweep-remote-fills\tremote-fills")
+	for _, row := range rows {
+		c := row.Result.Core
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Scenario, row.Policy, row.Routing, row.Result.Throughput,
+			row.Result.Heap.RemoteAllocs, row.Result.Sim.AllocRemoteFills,
+			row.Result.Heap.HomeFrees, row.Result.Heap.RemoteFrees,
+			c.SweepRemoteFills, row.Result.Sim.RemoteLineFills)
+	}
+	return tw.Flush()
+}
+
 // StallRow is one point of the errant-thread experiment (A4): the same
 // application stall under Epoch vs ThreadScan.
 type StallRow struct {

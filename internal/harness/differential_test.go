@@ -81,6 +81,63 @@ func TestDifferentialSchemesAgreeSequential(t *testing.T) {
 	}
 }
 
+// TestDifferentialSchemesAgreeConcurrent: the commutativity-aware
+// extension of the sequential differential (a ROADMAP open item).  With
+// an op budget, each worker's (op, key) stream is a function of the
+// seed alone even on a *concurrent* run — only the interleaving (and so
+// the success bits) is scheme-dependent.  Sorting per-key histories
+// into canonical (worker, index) order and hashing without the success
+// bits therefore yields a digest every scheme must reproduce
+// bit-for-bit; the success bits are checked per scheme against the set
+// alternation invariant (net successful inserts over initial presence
+// is a bit).  Any divergence means a scheme corrupted the structure, or
+// the engine leaked scheme timing into the op streams.
+func TestDifferentialSchemesAgreeConcurrent(t *testing.T) {
+	for _, base := range workload.Builtins() {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			spec := base
+			spec.DS = "list"
+			spec.Scheme = ""
+			spec.Threads = 4
+			spec.Cores = 4
+			spec.WorkerMix = nil // groups must divide the fixed 4 workers identically
+			spec.Churn = nil     // churn spawn timing is scheme-dependent
+			spec.Prefill = 128
+			spec.Seed = 23
+			spec.OpsPerWorker = 400
+
+			var refScheme string
+			var refDigest uint64
+			for _, scheme := range differentialSchemes {
+				s := spec
+				s.Scheme = scheme
+				r, err := RunScenario(s)
+				if err != nil {
+					t.Fatalf("%s: %v", scheme, err)
+				}
+				if r.AccountingError != "" {
+					t.Fatalf("%s: %s", scheme, r.AccountingError)
+				}
+				if r.KeyedError != "" {
+					t.Errorf("%s: keyed semantics: %s", scheme, r.KeyedError)
+				}
+				if r.KeyedDigest == 0 {
+					t.Fatalf("%s: no keyed digest collected on an op-budget run", scheme)
+				}
+				if refScheme == "" {
+					refScheme, refDigest = scheme, r.KeyedDigest
+					continue
+				}
+				if r.KeyedDigest != refDigest {
+					t.Errorf("%s keyed digest %x diverged from %s's %x",
+						scheme, r.KeyedDigest, refScheme, refDigest)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialFullSuiteSoundness: every builtin scenario, every
 // scheme, the real concurrent shape (threads, churn, pinning, per-node
 // routing) on the checked heap.  A use-after-free or double free fails

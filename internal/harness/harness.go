@@ -34,6 +34,11 @@ type Config struct {
 	Cores   int
 	Nodes   int // NUMA nodes (0/1 = flat machine)
 
+	// AllocPolicy is the allocator's NUMA placement policy: "" /
+	// "global" (single pool), "localalloc", "membind", or "interleave"
+	// (per-node pools; see simmem.Policy).  Inert on a flat machine.
+	AllocPolicy string
+
 	// Duration is the measured phase's virtual wall-clock window in
 	// cycles (1e9 cycles = 1 virtual second at the default Hz).  Each
 	// thread runs until its clock — which advances through both
@@ -119,8 +124,22 @@ func (c *Config) fill() {
 		c.Hz = 1_000_000_000
 	}
 	if c.HeapWords == 0 {
-		c.HeapWords = c.heapWordsEstimate()
+		c.HeapWords = c.heapWordsEstimate() * policyHeapScale(c.AllocPolicy, c.Nodes)
 	}
+}
+
+// policyHeapScale is the factor a heap-words estimate grows by under a
+// per-node allocation policy: regions split the arena Nodes ways, so
+// scaling keeps each node the headroom a global pool would have
+// machine-wide (membind has no fallback to borrow it back).  Shared by
+// the classic runner and the scenario engine so the two paths cannot
+// drift.
+func policyHeapScale(allocPolicy string, nodes int) int {
+	if pol, err := simmem.ParsePolicy(allocPolicy); err == nil &&
+		pol != simmem.PolicyGlobal && nodes > 1 {
+		return nodes
+	}
+	return 1
 }
 
 // heapWordsEstimate sizes the arena from the workload: live structure
@@ -209,6 +228,10 @@ func BuildSet(sim *simt.Sim, sc reclaim.Scheme, cfg Config) (ds.Set, error) {
 // Run executes one experiment and returns its Result.
 func Run(cfg Config) (Result, error) {
 	cfg.fill()
+	allocPolicy, err := simmem.ParsePolicy(cfg.AllocPolicy)
+	if err != nil {
+		return Result{}, err
+	}
 	sim := simt.New(simt.Config{
 		Cores:      cfg.Cores,
 		Nodes:      cfg.Nodes,
@@ -219,7 +242,7 @@ func Run(cfg Config) (Result, error) {
 		CacheSim:   cfg.CacheSim,
 		StackWords: 256,
 		MaxCycles:  cfg.Duration*int64(cfg.Threads+4)*4 + 4_000_000_000,
-		Heap:       simmem.Config{Words: cfg.HeapWords, Check: false, Poison: true},
+		Heap:       simmem.Config{Words: cfg.HeapWords, Check: false, Poison: true, Policy: allocPolicy},
 	})
 	sc, tsCore, err := BuildScheme(sim, cfg)
 	if err != nil {

@@ -38,6 +38,12 @@ type ScenarioResult struct {
 	// SchemeStats (NodeCollects, NodeReclaimed, SweepRemoteFills...).
 	PerNode bool `json:"per_node,omitempty"`
 
+	// AllocPolicy is the allocator's NUMA placement policy the run used
+	// (empty = global, the single-pool heap).  The allocation counters
+	// live in Heap (RemoteAllocs, HomeFrees, RemoteFrees) and Sim
+	// (AllocRemoteFills).
+	AllocPolicy string `json:"alloc_policy,omitempty"`
+
 	Ops            uint64  `json:"ops"`
 	ElapsedCycles  int64   `json:"elapsed_cycles"`
 	VirtualSeconds float64 `json:"virtual_seconds"`
@@ -46,6 +52,19 @@ type ScenarioResult struct {
 	// TraceHash digests the full op stream (per worker, in spawn
 	// order): equal seeds must yield equal hashes.
 	TraceHash uint64 `json:"trace_hash"`
+
+	// KeyedDigest is the commutativity-aware digest of per-key op
+	// histories in canonical (worker, index) order, success bits
+	// excluded (see workload.MergeKeyed).  Collected only on op-budget
+	// runs (OpsPerWorker > 0), where it is schedule-independent: every
+	// scheme must reproduce it even on concurrent runs, which is what
+	// extends the cross-scheme differential beyond serialized ones.
+	KeyedDigest uint64 `json:"keyed_digest,omitempty"`
+
+	// KeyedError reports a per-key set-semantics violation (net
+	// successful inserts inconsistent with presence being a bit) on an
+	// op-budget run over a set structure.  Empty for a sound scheme.
+	KeyedError string `json:"keyed_error,omitempty"`
 
 	FinalSize int `json:"final_size"`
 
@@ -66,6 +85,7 @@ type ScenarioResult struct {
 	SchemeStats reclaim.Stats `json:"scheme_stats"`
 	Core        *core.Stats   `json:"threadscan_stats,omitempty"`
 	Sim         simt.SimStats `json:"sim_stats"`
+	Heap        simmem.Stats  `json:"heap_stats"`
 
 	WallTime time.Duration `json:"-"`
 }
@@ -134,6 +154,7 @@ func scenarioHeapWords(spec *workload.Scenario, nodeWords int) int {
 	if spec.HeapWords > 0 {
 		return spec.HeapWords
 	}
+	nodeScale := policyHeapScale(spec.AllocPolicy, spec.Nodes)
 	insCost, otherCost := int64(100), int64(10) // stack/queue floors
 	switch spec.DS {
 	case "list", "hash", "skiplist":
@@ -167,7 +188,7 @@ func scenarioHeapWords(spec *workload.Scenario, nodeWords int) int {
 		batch = 1024
 	}
 	liveMax := int(spec.KeyRange) + spec.Prefill + allocNodes + workers*(buf+batch) + 4096
-	words := liveMax * nodeWords * 3 / 2
+	words := liveMax * nodeWords * 3 / 2 * nodeScale
 	p := 1 << 16
 	for p < words {
 		p <<= 1
@@ -193,8 +214,9 @@ type scenarioRun struct {
 
 	startAt  map[int]int64 // thread id -> measured-phase start
 	finishAt map[int]int64
-	traces   map[int]uint64        // thread id -> op-trace digest
-	mixOf    map[int]*workload.Mix // thread id -> role-group mix override (nil = phase mix)
+	traces   map[int]uint64               // thread id -> op-trace digest
+	keyed    map[int]*workload.KeyedTrace // thread id -> per-key history (op-budget runs)
+	mixOf    map[int]*workload.Mix        // thread id -> role-group mix override (nil = phase mix)
 
 	sampler *footprintSampler
 }
@@ -208,6 +230,13 @@ type scenarioRun struct {
 func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 	rng := th.RNG()
 	tr := workload.NewTrace()
+	var keyed *workload.KeyedTrace
+	if r.spec.OpsPerWorker > 0 {
+		// Op-budget runs also keep per-key histories: the stream is
+		// seed-determined, so the canonicalized histories support exact
+		// cross-scheme comparison even on concurrent runs.
+		keyed = workload.NewKeyedTrace(th.ID())
+	}
 	phase := 0
 	override := r.mixOf[th.ID()]
 	gen := workload.NewKeyGen(r.spec.Phases[0].Dist, r.spec.KeyRange, rng)
@@ -223,6 +252,9 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 		op := mix.Pick(rng.Intn(100))
 		ok := r.target.Apply(th, op, key)
 		tr.Record(op, key, ok)
+		if keyed != nil {
+			keyed.Record(op, key, ok)
+		}
 		th.AddOps(1)
 	}
 	if budget := r.spec.OpsPerWorker; budget > 0 {
@@ -256,6 +288,9 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 		}
 	}
 	r.traces[th.ID()] = tr.Sum()
+	if keyed != nil {
+		r.keyed[th.ID()] = keyed
+	}
 }
 
 // retire ends a worker's mutating life: drop every stale reference,
@@ -315,6 +350,10 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 	if spec.OpsPerWorker > 0 {
 		watchdog += int64(spec.OpsPerWorker) * int64(workers+4) * 100_000
 	}
+	allocPolicy, err := simmem.ParsePolicy(spec.AllocPolicy)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
 	sim := simt.New(simt.Config{
 		Cores:      spec.Cores,
 		Nodes:      spec.Nodes,
@@ -323,7 +362,8 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		StackWords: 256,
 		MaxCycles:  watchdog,
 		Heap: simmem.Config{
-			Words: scenarioHeapWords(&spec, nodeWords), Check: true, Poison: true},
+			Words: scenarioHeapWords(&spec, nodeWords), Check: true, Poison: true,
+			Policy: allocPolicy},
 	})
 	sc, tsCore, err := BuildScheme(sim, schemeCfg)
 	if err != nil {
@@ -342,6 +382,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		startAt:  make(map[int]int64),
 		finishAt: make(map[int]int64),
 		traces:   make(map[int]uint64),
+		keyed:    make(map[int]*workload.KeyedTrace),
 		mixOf:    make(map[int]*workload.Mix),
 		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
 	}
@@ -452,11 +493,13 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		Nodes:               spec.Nodes,
 		PinPolicy:           spec.PinPolicy,
 		PerNode:             spec.PerNode,
+		AllocPolicy:         spec.AllocPolicy,
 		ChurnWorkers:        r.churned,
 		LeakedRegistrations: -1,
 		Footprint:           r.sampler.fp,
 		SchemeStats:         sc.Stats(),
 		Sim:                 sim.Stats(),
+		Heap:                sim.Heap().Stats(),
 		FinalSize:           target.Size(),
 		WallTime:            time.Since(wallStart),
 	}
@@ -470,6 +513,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 			"scheme %s freed %d more nodes than it retired", spec.Scheme, skew)
 	}
 	var sums []uint64
+	var keyedTraces []*workload.KeyedTrace
 	var minStart, maxFinish int64
 	first := true
 	for _, th := range sim.Threads() {
@@ -486,8 +530,27 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		if sum, ok := r.traces[th.ID()]; ok {
 			sums = append(sums, sum) // Threads() is spawn-ordered
 		}
+		if kt, ok := r.keyed[th.ID()]; ok {
+			keyedTraces = append(keyedTraces, kt)
+		}
 	}
 	res.TraceHash = workload.CombineTraces(sums)
+	if spec.OpsPerWorker > 0 {
+		summary := workload.MergeKeyed(keyedTraces)
+		res.KeyedDigest = summary.Digest
+		switch spec.DS {
+		case "list", "hash", "skiplist":
+			// Initial presence is the prefill stripe (the exact keys the
+			// workers inserted before the measured window).
+			prefilled := make(map[uint64]bool, spec.Prefill)
+			for k := 0; k < spec.Prefill; k++ {
+				prefilled[ds.MinKey+uint64(k)*spec.KeyRange/uint64(spec.Prefill)] = true
+			}
+			res.KeyedError = summary.CheckSetSemantics(func(key uint64) bool {
+				return prefilled[key]
+			})
+		}
+	}
 	res.ElapsedCycles = maxFinish - minStart
 	res.VirtualSeconds = float64(res.ElapsedCycles) / 1e9
 	if res.VirtualSeconds > 0 {

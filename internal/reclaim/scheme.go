@@ -120,6 +120,20 @@ type Stats struct {
 	NodeReclaimed    []uint64
 	StolenCollects   uint64
 	StolenSweeps     uint64
+
+	// Allocation-subsystem counters (machine-wide, mirrored from the
+	// simulated heap's per-node pools by the ThreadScan adapter like
+	// RemoteLineFills; zero elsewhere and on a single-pool heap).
+	// AllocRemoteFills counts allocations handed a block whose lines
+	// were last homed on another node (the alloc-side cross-socket
+	// traffic a global pool causes); RemoteAllocs counts blocks served
+	// outside their home region; HomeFrees/RemoteFrees split sweep-side
+	// frees by whether they routed into the freeing node's own pool or
+	// crossed the interconnect into a remote-free inbox.
+	AllocRemoteFills uint64
+	RemoteAllocs     uint64
+	HomeFrees        uint64
+	RemoteFrees      uint64
 }
 
 // maxThreadID sizes per-thread state arrays.  Schemes grow their

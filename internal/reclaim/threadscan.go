@@ -56,6 +56,7 @@ func (s *ThreadScan) Flush(t *simt.Thread) int {
 // unreclaimed garbage in the footprint metric.
 func (s *ThreadScan) Stats() Stats {
 	c := s.ts.Stats()
+	hs := s.sim.Heap().Stats()
 	return Stats{
 		Retired:           c.Frees,
 		Freed:             c.Reclaimed + c.HelpFreed + c.DoubleRetires,
@@ -74,5 +75,9 @@ func (s *ThreadScan) Stats() Stats {
 		NodeReclaimed:     c.NodeReclaimed,
 		StolenCollects:    c.StolenCollects,
 		StolenSweeps:      c.StolenSweeps,
+		AllocRemoteFills:  s.sim.Stats().AllocRemoteFills,
+		RemoteAllocs:      hs.RemoteAllocs,
+		HomeFrees:         hs.HomeFrees,
+		RemoteFrees:       hs.RemoteFrees,
 	}
 }

@@ -8,9 +8,19 @@ package simmem
 // evaluation runs on TCMalloc precisely because a scalable allocator is
 // a prerequisite for measuring reclamation overhead rather than malloc
 // contention.
+//
+// On a heap with per-node pools the cache is bound to its thread's NUMA
+// node: refills draw from the policy-routed pool, and frees route each
+// block to its *home* pool — same-node blocks through the magazine,
+// foreign blocks straight into their home's remote-free inbox, because
+// stashing a foreign block in the magazine would hand the remote node's
+// memory to the next local alloc (exactly the locality leak the
+// per-node pools exist to close).
 type Cache struct {
 	heap    *Heap
+	node    int
 	classes [numClasses]cacheClass
+	stage   [][]uint64 // per-node staging of cross-node frees (multi-pool only)
 }
 
 type cacheClass struct {
@@ -18,16 +28,35 @@ type cacheClass struct {
 }
 
 // cacheCapacity is the per-class magazine size; refills move
-// cacheBatch blocks at a time.
+// cacheBatch blocks at a time.  Cross-node frees stage locally and
+// flush to the home pool's inbox remoteBatch at a time, so a sweep
+// that frees another node's memory pays one interconnect hop per
+// batch, not per block — TCMalloc's transfer-cache amortization.
 const (
 	cacheCapacity = 64
 	cacheBatch    = 32
+	remoteBatch   = 32
 )
 
-// NewCache creates a thread cache bound to the heap.
-func (h *Heap) NewCache() *Cache {
-	return &Cache{heap: h}
+// NewCache creates a thread cache bound to the heap, on node 0.
+func (h *Heap) NewCache() *Cache { return h.NewCacheOn(0) }
+
+// NewCacheOn creates a thread cache bound to the given NUMA node.  On a
+// single-pool heap the node still attributes page residency (first
+// touch) and the remote-alloc accounting, but every pool-routing path
+// is inert.
+//
+// The binding is permanent: like a real TCMalloc thread cache, it does
+// not follow an unpinned thread that later migrates to another node's
+// cores, so such a thread's allocs and frees keep routing (and being
+// charged) against its original node.  Pinned workloads — everything
+// the NUMA scenarios run — are exact.
+func (h *Heap) NewCacheOn(node int) *Cache {
+	return &Cache{heap: h, node: h.clampResident(node)}
 }
+
+// Node returns the NUMA node the cache is bound to.
+func (c *Cache) Node() int { return c.node }
 
 // Alloc allocates a block of at least size bytes, preferring the cache.
 func (c *Cache) Alloc(size int) uint64 {
@@ -36,7 +65,7 @@ func (c *Cache) Alloc(size int) uint64 {
 	}
 	words := (size + WordSize - 1) / WordSize
 	if words > maxSmallWords {
-		return c.heap.allocSpan(words)
+		return c.heap.allocSpan(c.node, words)
 	}
 	cls := classFor(words)
 	cc := &c.classes[cls]
@@ -49,54 +78,110 @@ func (c *Cache) Alloc(size int) uint64 {
 	addr := cc.blocks[len(cc.blocks)-1]
 	cc.blocks = cc.blocks[:len(cc.blocks)-1]
 	c.heap.finishAlloc(addr, classWords[cls])
+	c.heap.noteAlloc(c.node, addr)
 	return addr
 }
 
-// Free returns the block at addr to the cache, spilling half the
-// magazine to the central list when it overflows.
-func (c *Cache) Free(addr uint64) {
+// Free returns the block at addr toward its home pool: same-node blocks
+// enter the magazine (spilling half to the home central list on
+// overflow), foreign blocks stage locally and flush to their home's
+// remote-free inbox a batch at a time.  Reports whether this free
+// flushed a batch across the interconnect (the caller charges the hop).
+func (c *Cache) Free(addr uint64) (flushed bool) {
 	words := c.heap.checkFree(addr)
 	if words > maxSmallWords {
-		c.heap.freeSpan(addr, words)
-		return
+		return c.heap.freeSpanTo(c.node, addr, words)
 	}
 	cls := classFor(words)
+	h := c.heap
+	if len(h.pools) > 1 {
+		if home := h.HomeNode(addr); home != c.node {
+			h.stats.RemoteFrees++
+			if c.stage == nil {
+				c.stage = make([][]uint64, len(h.pools))
+			}
+			c.stage[home] = append(c.stage[home], addr)
+			if len(c.stage[home]) >= remoteBatch {
+				c.flushStage(home)
+				return true
+			}
+			return false
+		}
+		h.stats.HomeFrees++
+	}
 	cc := &c.classes[cls]
 	cc.blocks = append(cc.blocks, addr)
 	if len(cc.blocks) > cacheCapacity {
 		spill := len(cc.blocks) / 2
-		c.heap.central[cls].blocks = append(c.heap.central[cls].blocks, cc.blocks[:spill]...)
+		h.spillBlocks(c.node, cls, cc.blocks[:spill])
 		n := copy(cc.blocks, cc.blocks[spill:])
 		cc.blocks = cc.blocks[:n]
-		c.heap.stats.CentralFrees += uint64(spill)
+		h.stats.CentralFrees += uint64(spill)
+	}
+	return false
+}
+
+// flushStage moves the cache's staged cross-node frees for one node
+// into that node's remote inbox.
+func (c *Cache) flushStage(home int) {
+	p := &c.heap.pools[home]
+	p.remote = append(p.remote, c.stage[home]...)
+	c.stage[home] = c.stage[home][:0]
+}
+
+// spillBlocks returns a batch of magazine blocks of one class to their
+// home pools: same-node blocks onto the home central list, foreign
+// blocks — possible after a cross-node refill under localalloc
+// fallback or interleave — into their home's remote inbox.  This is
+// what keeps pool accounting exact when a cache overflows or a churned
+// thread exits: nothing is ever dumped into the wrong node's pool.
+func (h *Heap) spillBlocks(from, cls int, blocks []uint64) {
+	if len(h.pools) == 1 {
+		p := &h.pools[0]
+		p.central[cls].blocks = append(p.central[cls].blocks, blocks...)
+		return
+	}
+	for _, addr := range blocks {
+		p := h.homePool(addr)
+		if p.node == from {
+			p.central[cls].blocks = append(p.central[cls].blocks, addr)
+		} else {
+			p.remote = append(p.remote, addr)
+		}
 	}
 }
 
-// refill moves up to cacheBatch blocks from the central list (carving a
-// fresh page if needed) into the cache.
+// refill moves up to cacheBatch blocks from the policy-routed pool
+// (draining its inbox or carving a fresh page if needed) into the
+// cache.
 func (c *Cache) refill(cls int) {
-	h := c.heap
-	if len(h.central[cls].blocks) == 0 {
-		h.carvePage(cls)
-	}
+	p := c.heap.allocPool(c.node, cls)
 	take := cacheBatch
-	if n := len(h.central[cls].blocks); take > n {
+	if n := len(p.central[cls].blocks); take > n {
 		take = n
 	}
-	from := h.central[cls].blocks
+	from := p.central[cls].blocks
 	c.classes[cls].blocks = append(c.classes[cls].blocks, from[len(from)-take:]...)
-	h.central[cls].blocks = from[:len(from)-take]
+	p.central[cls].blocks = from[:len(from)-take]
 }
 
-// Flush returns every cached block to the central lists.  Used at
-// thread exit.
+// Flush returns every cached block to its home node's pool.  Used at
+// thread exit; routing per block (rather than dumping the magazines
+// into one global list) is what keeps a churned thread's exit from
+// silently misattributing blocks once pools are per-node.  Staged
+// cross-node frees flush too, so an exiting thread strands nothing.
 func (c *Cache) Flush() {
 	for cls := range c.classes {
 		cc := &c.classes[cls]
 		if len(cc.blocks) > 0 {
-			c.heap.central[cls].blocks = append(c.heap.central[cls].blocks, cc.blocks...)
+			c.heap.spillBlocks(c.node, cls, cc.blocks)
 			c.heap.stats.CentralFrees += uint64(len(cc.blocks))
 			cc.blocks = cc.blocks[:0]
+		}
+	}
+	for home := range c.stage {
+		if len(c.stage[home]) > 0 {
+			c.flushStage(home)
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package simmem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViolationStrings(t *testing.T) {
+	kinds := []ViolationKind{
+		VNilDeref, VUnaligned, VWildAccess, VUseAfterFree,
+		VDoubleFree, VBadFree, VOutOfMemory, ViolationKind(42),
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("ViolationKind(%d).String() empty", int(k))
+		}
+	}
+	v := &Violation{Kind: VBadFree, Addr: 0x100, Op: "free"}
+	if !strings.Contains(v.Error(), "bad free") {
+		t.Errorf("Error() = %q", v.Error())
+	}
+	v.Detail = "not a block base"
+	if !strings.Contains(v.Error(), "not a block base") {
+		t.Errorf("Error() with detail = %q", v.Error())
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	h := New(Config{})
+	if h.Base() == 0 || h.Limit() <= h.Base() {
+		t.Fatalf("defaults: base %#x limit %#x", h.Base(), h.Limit())
+	}
+	if h.Pools() != 1 {
+		t.Fatalf("default pools = %d", h.Pools())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Base accepted")
+		}
+	}()
+	New(Config{Base: 12345})
+}
+
+func TestCacheNodeAccessor(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<14)
+	if got := h.NewCacheOn(1).Node(); got != 1 {
+		t.Fatalf("Node() = %d", got)
+	}
+	if got := h.NewCacheOn(-3).Node(); got != 0 {
+		t.Fatalf("clamped Node() = %d", got)
+	}
+	if got := h.NewCacheOn(9).Node(); got != 1 {
+		t.Fatalf("over-clamped Node() = %d", got)
+	}
+	if got := h.NewCache().Node(); got != 0 {
+		t.Fatalf("NewCache Node() = %d", got)
+	}
+}
+
+func TestInterleaveSpansRotate(t *testing.T) {
+	h := twoNodeHeap(PolicyInterleave, 16*PageWords)
+	span := PageWords * WordSize
+	seen := map[int]int{}
+	var addrs []uint64
+	for i := 0; i < 4; i++ {
+		a := h.AllocOn(0, span)
+		addrs = append(addrs, a)
+		seen[h.HomeNode(a)]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("interleaved spans never reached both regions: %v", seen)
+	}
+	// Freed spans recycle from their home pool, wherever freed from.
+	for _, a := range addrs {
+		h.FreeToNode(0, a)
+	}
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced spans: %d", h.MisplacedBlocks())
+	}
+	reused := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		reused[h.AllocOn(0, span)] = true
+	}
+	for _, a := range addrs {
+		if !reused[a] {
+			t.Errorf("span %#x not recycled", a)
+		}
+	}
+}
+
+func TestLocalallocSpanFallsBack(t *testing.T) {
+	// Node 0's region (2 pages) cannot fit a 2-page span after one page
+	// is carved for small classes; the span must land on node 1.
+	h := twoNodeHeap(PolicyLocal, 4*PageWords)
+	h.AllocOn(0, 64) // carves one node-0 page
+	a := h.AllocOn(0, 2*PageWords*WordSize)
+	if got := h.HomeNode(a); got != 1 {
+		t.Fatalf("span fell back to region %d, want 1", got)
+	}
+	if h.Stats().RemoteAllocs != 1 {
+		t.Fatalf("RemoteAllocs = %d", h.Stats().RemoteAllocs)
+	}
+}
+
+func TestSingleNodePolicyHeapActsGlobal(t *testing.T) {
+	// Nodes=1 with a non-global policy stays a single pool: the
+	// bit-identity contract is about pool count, not the policy knob.
+	h := New(Config{Words: 1 << 14, Check: true, Nodes: 1, Policy: PolicyMembind})
+	if h.Pools() != 1 {
+		t.Fatalf("Pools() = %d", h.Pools())
+	}
+	a := h.Alloc(172)
+	h.FreeToNode(0, a)
+	if b := h.Alloc(172); b != a {
+		t.Fatalf("single-pool FreeToNode not LIFO: %#x then %#x", a, b)
+	}
+	if s := h.Stats(); s.HomeFrees != 0 || s.RemoteFrees != 0 || s.RemoteAllocs != 0 {
+		t.Fatalf("single pool counted NUMA traffic: %+v", s)
+	}
+}
+
+func TestResidentNodeOutOfRange(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<14)
+	if got := h.ResidentNode(h.Base()); got != 0 {
+		t.Fatalf("uncarved page resident on %d", got)
+	}
+	if got := h.ResidentNode(h.Limit() + 4096); got != 0 {
+		t.Fatalf("out-of-arena address resident on %d", got)
+	}
+}
+
+func TestLiveAtRejectsUnaligned(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<14)
+	a := h.AllocOn(0, 64)
+	if h.LiveAt(a + 3) {
+		t.Fatal("LiveAt true for unaligned address")
+	}
+}
+
+func TestClassForClampsTinyRequests(t *testing.T) {
+	if classFor(0) != classFor(1) {
+		t.Fatal("classFor(0) did not clamp to the smallest class")
+	}
+}
+
+func TestAllocOnNonPositiveSizePanics(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<14)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllocOn(0) accepted")
+		}
+	}()
+	h.AllocOn(0, 0)
+}

@@ -1,0 +1,376 @@
+package simmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// twoNodeHeap returns a checked heap with per-node pools under the
+// given policy.  words must be a multiple of PageWords for exact
+// region-split assertions.
+func twoNodeHeap(policy Policy, words int) *Heap {
+	return New(Config{Words: words, Check: true, Poison: true, Nodes: 2, Policy: policy})
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{
+		{"", PolicyGlobal}, {"global", PolicyGlobal},
+		{"local", PolicyLocal}, {"localalloc", PolicyLocal},
+		{"membind", PolicyMembind}, {"interleave", PolicyInterleave},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePolicy("firsttouch"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+	for _, p := range []Policy{PolicyGlobal, PolicyLocal, PolicyMembind, PolicyInterleave, Policy(99)} {
+		if p.String() == "" {
+			t.Errorf("Policy(%d).String() empty", int(p))
+		}
+	}
+}
+
+func TestGlobalPolicyKeepsSinglePool(t *testing.T) {
+	h := New(Config{Words: 1 << 16, Check: true, Nodes: 4, Policy: PolicyGlobal})
+	if h.Pools() != 1 {
+		t.Fatalf("global policy built %d pools, want 1", h.Pools())
+	}
+	if h.Policy() != PolicyGlobal {
+		t.Fatalf("Policy() = %v", h.Policy())
+	}
+	// Residency is still tracked per carving node on the single pool.
+	c1 := h.NewCacheOn(1)
+	a := c1.Alloc(64)
+	if got := h.ResidentNode(a); got != 1 {
+		t.Fatalf("block carved by node 1 resident on %d", got)
+	}
+	// ...and a cross-node hand-out counts as a remote alloc.
+	c1.Free(a)
+	c1.Flush() // push the magazine to the shared central list
+	c0 := h.NewCacheOn(0)
+	b := c0.Alloc(64)
+	if b != a {
+		t.Fatalf("single pool did not recycle LIFO: %#x then %#x", a, b)
+	}
+	if h.Stats().RemoteAllocs != 1 {
+		t.Fatalf("RemoteAllocs = %d, want 1 (node 0 recycled node 1's block)", h.Stats().RemoteAllocs)
+	}
+	// No per-node pools => no free routing, no home/remote split.
+	if s := h.Stats(); s.HomeFrees != 0 || s.RemoteFrees != 0 {
+		t.Fatalf("single pool counted pool routing: %+v", s)
+	}
+}
+
+func TestLocalallocServesHomeRegion(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<16)
+	if h.Pools() != 2 {
+		t.Fatalf("Pools() = %d, want 2", h.Pools())
+	}
+	for node := 0; node < 2; node++ {
+		c := h.NewCacheOn(node)
+		for i := 0; i < 100; i++ {
+			a := c.Alloc(172)
+			if got := h.HomeNode(a); got != node {
+				t.Fatalf("node %d alloc %d homed on %d", node, i, got)
+			}
+			if got := h.ResidentNode(a); got != node {
+				t.Fatalf("node %d alloc %d resident on %d", node, i, got)
+			}
+		}
+	}
+	if got := h.Stats().RemoteAllocs; got != 0 {
+		t.Fatalf("RemoteAllocs = %d under pure-local traffic", got)
+	}
+}
+
+func TestLocalallocFallsBackWhenRegionExhausted(t *testing.T) {
+	// 4 pages, 2 nodes: 2 pages per region.  Node 0 exhausts its region
+	// with spans, then a small alloc must fall back to node 1's region
+	// instead of failing.
+	h := twoNodeHeap(PolicyLocal, 4*PageWords)
+	span := PageWords * WordSize
+	a0 := h.AllocOn(0, span)
+	a1 := h.AllocOn(0, span)
+	if h.HomeNode(a0) != 0 || h.HomeNode(a1) != 0 {
+		t.Fatalf("node 0 spans homed on %d/%d", h.HomeNode(a0), h.HomeNode(a1))
+	}
+	b := h.AllocOn(0, 64)
+	if got := h.HomeNode(b); got != 1 {
+		t.Fatalf("fallback alloc homed on %d, want 1", got)
+	}
+	if got := h.Stats().RemoteAllocs; got != 1 {
+		t.Fatalf("RemoteAllocs = %d, want 1 for the fallback hand-out", got)
+	}
+}
+
+func TestMembindFailsWhenNodeExhausted(t *testing.T) {
+	// Same shape as the localalloc fallback test, but membind must OOM
+	// on node 0 even though node 1 still has both its pages.
+	h := twoNodeHeap(PolicyMembind, 4*PageWords)
+	span := PageWords * WordSize
+	h.AllocOn(0, span)
+	h.AllocOn(0, span)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("membind alloc on an exhausted node did not fail")
+		}
+		var v *Violation
+		if !errors.As(r.(error), &v) || v.Kind != VOutOfMemory {
+			t.Fatalf("expected VOutOfMemory, got %v", r)
+		}
+		// Node 1's region must still be allocatable afterwards.
+		if got := h.HomeNode(h.AllocOn(1, 64)); got != 1 {
+			t.Fatalf("node 1 alloc homed on %d", got)
+		}
+	}()
+	h.AllocOn(0, 64)
+}
+
+func TestMembindSpanFailsWhenNodeExhausted(t *testing.T) {
+	h := twoNodeHeap(PolicyMembind, 4*PageWords)
+	h.AllocOn(0, 2*PageWords*WordSize)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("membind span on an exhausted node did not fail")
+		}
+		var v *Violation
+		if !errors.As(r.(error), &v) || v.Kind != VOutOfMemory {
+			t.Fatalf("expected VOutOfMemory, got %v", r)
+		}
+	}()
+	h.AllocOn(0, PageWords*WordSize)
+}
+
+func TestInterleaveRoundRobinDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		h := twoNodeHeap(PolicyInterleave, 1<<16)
+		c := h.NewCacheOn(0)
+		var addrs []uint64
+		for i := 0; i < 200; i++ {
+			addrs = append(addrs, c.Alloc(172))
+		}
+		return addrs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleave alloc %d diverged across identical runs: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	// The rotor must actually spread pages across both regions.
+	h := twoNodeHeap(PolicyInterleave, 1<<16)
+	c := h.NewCacheOn(0)
+	seen := map[int]int{}
+	for i := 0; i < 200; i++ {
+		seen[h.HomeNode(c.Alloc(172))]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("interleave never reached both regions: %v", seen)
+	}
+	if h.Stats().RemoteAllocs == 0 {
+		t.Fatal("interleave on node 0 never counted a remote hand-out")
+	}
+}
+
+func TestNonPowerOfTwoNodeRegions(t *testing.T) {
+	// 3 nodes over 8 pages: regions are near-equal contiguous blocks
+	// ([0,2), [2,5), [5,8)) that partition every page.
+	const pages = 8
+	h := New(Config{Words: pages * PageWords, Check: true, Nodes: 3, Policy: PolicyLocal})
+	if h.Pools() != 3 {
+		t.Fatalf("Pools() = %d, want 3", h.Pools())
+	}
+	counts := map[int]int{}
+	for p := 0; p < pages; p++ {
+		addr := h.Base() + uint64(p*PageWords)*WordSize
+		counts[h.HomeNode(addr)]++
+	}
+	total := 0
+	for n := 0; n < 3; n++ {
+		if counts[n] == 0 {
+			t.Fatalf("node %d owns no pages: %v", n, counts)
+		}
+		total += counts[n]
+	}
+	if total != pages {
+		t.Fatalf("regions cover %d of %d pages", total, pages)
+	}
+	// Every node can allocate from its own region.
+	for n := 0; n < 3; n++ {
+		if got := h.HomeNode(h.AllocOn(n, 64)); got != n {
+			t.Fatalf("node %d alloc homed on %d", n, got)
+		}
+	}
+	if h.Stats().RemoteAllocs != 0 {
+		t.Fatalf("RemoteAllocs = %d", h.Stats().RemoteAllocs)
+	}
+}
+
+func TestMoreNodesThanPagesClamps(t *testing.T) {
+	h := New(Config{Words: 2 * PageWords, Check: true, Nodes: 8, Policy: PolicyLocal})
+	if h.Pools() > 2 {
+		t.Fatalf("Pools() = %d for a 2-page arena", h.Pools())
+	}
+	// Requests from out-of-range nodes clamp instead of panicking.
+	if a := h.AllocOn(7, 64); !h.Contains(a) {
+		t.Fatal("clamped alloc escaped the arena")
+	}
+	if a := h.AllocOn(-1, 64); !h.Contains(a) {
+		t.Fatal("negative-node alloc escaped the arena")
+	}
+}
+
+func TestFreeToNodeRoutesHome(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<16)
+	a := h.AllocOn(0, 172) // resident node 0
+
+	// Same-node free: straight onto the home central list.
+	h.FreeToNode(0, a)
+	if s := h.Stats(); s.HomeFrees != 1 || s.RemoteFrees != 0 {
+		t.Fatalf("same-node free counted %+v", s)
+	}
+	if b := h.AllocOn(0, 172); b != a {
+		t.Fatalf("home free not LIFO-reused: %#x then %#x", a, b)
+	}
+
+	// Cross-node free: inbox, drained by the owner once its central
+	// list for the class runs dry (before carving a fresh page).
+	if remote := h.FreeToNode(1, a); !remote {
+		t.Fatal("cross-node free not reported remote")
+	}
+	if s := h.Stats(); s.RemoteFrees != 1 {
+		t.Fatalf("cross-node free counted %+v", s)
+	}
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks after inbox routing: %d", h.MisplacedBlocks())
+	}
+	pagesBefore := h.Stats().PagesCarved
+	found := false
+	for i := 0; i < 2*PageWords && !found; i++ {
+		found = h.AllocOn(0, 172) == a
+	}
+	if !found {
+		t.Fatal("inbox block never drained back to the owner")
+	}
+	if got := h.Stats().RemoteDrained; got != 1 {
+		t.Fatalf("RemoteDrained = %d, want 1", got)
+	}
+	if h.Stats().PagesCarved != pagesBefore {
+		t.Fatal("owner carved a fresh page instead of draining its inbox first")
+	}
+}
+
+func TestFreeToNodeSpanRoutesHome(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 8*PageWords)
+	span := 2 * PageWords * WordSize
+	a := h.AllocOn(1, span)
+	if remote := h.FreeToNode(0, a); !remote {
+		t.Fatal("cross-node span free not reported remote")
+	}
+	if b := h.AllocOn(1, span); b != a {
+		t.Fatalf("span not recycled on its home node: %#x then %#x", a, b)
+	}
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks: %d", h.MisplacedBlocks())
+	}
+}
+
+func TestCacheCrossNodeFreeStagesAndFlushes(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<16)
+	c0, c1 := h.NewCacheOn(0), h.NewCacheOn(1)
+
+	// Node 0 allocates fewer than a remote batch; node 1 frees them all:
+	// they stage in c1 (no flush yet) and must reach node 0's pool at
+	// cache Flush, not be stranded or dumped into node 1's lists.
+	var addrs []uint64
+	for i := 0; i < remoteBatch-1; i++ {
+		addrs = append(addrs, c0.Alloc(172))
+	}
+	for _, a := range addrs {
+		if flushed := c1.Free(a); flushed {
+			t.Fatalf("free %#x flushed before a full batch", a)
+		}
+	}
+	if got := h.Stats().RemoteFrees; got != uint64(len(addrs)) {
+		t.Fatalf("RemoteFrees = %d, want %d", got, len(addrs))
+	}
+	c1.Flush()
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks after flush: %d", h.MisplacedBlocks())
+	}
+	// Node 0 reallocates through its own pool until every flushed block
+	// has come back (the inbox drains once the central list runs dry).
+	got := map[uint64]bool{}
+	for i := 0; i < 4*PageWords; i++ {
+		got[c0.Alloc(172)] = true
+		done := true
+		for _, a := range addrs {
+			if !got[a] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for _, a := range addrs {
+		if !got[a] {
+			t.Fatalf("block %#x did not return to node 0's pool", a)
+		}
+	}
+	if h.Stats().RemoteDrained != uint64(len(addrs)) {
+		t.Fatalf("RemoteDrained = %d, want %d", h.Stats().RemoteDrained, len(addrs))
+	}
+}
+
+func TestCacheCrossNodeFreeFlushesFullBatch(t *testing.T) {
+	h := twoNodeHeap(PolicyLocal, 1<<17)
+	c0, c1 := h.NewCacheOn(0), h.NewCacheOn(1)
+	var addrs []uint64
+	for i := 0; i < remoteBatch; i++ {
+		addrs = append(addrs, c0.Alloc(172))
+	}
+	flushes := 0
+	for _, a := range addrs {
+		if c1.Free(a) {
+			flushes++
+		}
+	}
+	if flushes != 1 {
+		t.Fatalf("%d flushes across one full batch, want exactly 1", flushes)
+	}
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks: %d", h.MisplacedBlocks())
+	}
+}
+
+func TestCacheSpillAttributesHomePools(t *testing.T) {
+	// Interleave refills pull both nodes' blocks into one magazine; a
+	// spill (and the final flush) must route every block back to its
+	// own region, never dump the magazine into one list.
+	h := twoNodeHeap(PolicyInterleave, 1<<17)
+	c := h.NewCacheOn(0)
+	var addrs []uint64
+	for i := 0; i < 300; i++ {
+		addrs = append(addrs, c.Alloc(172))
+	}
+	for _, a := range addrs {
+		c.Free(a) // overflows the magazine repeatedly => spills
+	}
+	c.Flush()
+	if h.MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks after spill+flush: %d", h.MisplacedBlocks())
+	}
+	if h.Stats().LiveBlocks != 0 {
+		t.Fatalf("LiveBlocks = %d", h.Stats().LiveBlocks)
+	}
+}

@@ -1,0 +1,70 @@
+package simmem
+
+import "fmt"
+
+// Policy selects which node's pool serves an allocation on a heap with
+// per-node arenas — the simulated analog of numactl's memory policies.
+// The paper's evaluation runs on TCMalloc because a scalable allocator
+// is a prerequisite for measuring reclamation rather than malloc
+// contention; on a multi-socket machine the same argument extends to
+// *where* freed memory goes, so the heap models the standard placement
+// policies:
+//
+//   - PolicyGlobal: one machine-wide pool, the pre-NUMA behavior.  The
+//     heap keeps a single set of central free lists regardless of the
+//     node count, so a block freed on node 0 is recycled by whichever
+//     node allocates next — the locality leak the other policies close.
+//     Bit-identical to the pre-allocpool allocator.
+//   - PolicyLocal ("localalloc"): allocate from the requesting node's
+//     pool, falling back to other nodes only when the local arena
+//     region is exhausted — Linux's default placement.
+//   - PolicyMembind: strictly bind to the requesting node's pool; the
+//     allocation fails with VOutOfMemory when that node's region is
+//     exhausted even if other nodes have free pages, exactly like
+//     `numactl --membind` under memory pressure.
+//   - PolicyInterleave: rotate allocations round-robin across the node
+//     pools (`numactl --interleave`), trading locality for balance.
+type Policy int
+
+const (
+	// PolicyGlobal is the single-pool allocator (the default).
+	PolicyGlobal Policy = iota
+	// PolicyLocal prefers the requester's node, falls back when full.
+	PolicyLocal
+	// PolicyMembind binds strictly to the requester's node.
+	PolicyMembind
+	// PolicyInterleave rotates across node pools round-robin.
+	PolicyInterleave
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyGlobal:
+		return "global"
+	case PolicyLocal:
+		return "localalloc"
+	case PolicyMembind:
+		return "membind"
+	case PolicyInterleave:
+		return "interleave"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name to its Policy.  The empty string is
+// PolicyGlobal, so an unset scenario knob means "the old allocator".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "global":
+		return PolicyGlobal, nil
+	case "local", "localalloc":
+		return PolicyLocal, nil
+	case "membind":
+		return PolicyMembind, nil
+	case "interleave":
+		return PolicyInterleave, nil
+	default:
+		return 0, fmt.Errorf("simmem: unknown allocation policy %q (want global, localalloc, membind, or interleave)", s)
+	}
+}

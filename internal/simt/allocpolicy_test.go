@@ -1,0 +1,192 @@
+package simt
+
+import (
+	"testing"
+
+	"threadscan/internal/simmem"
+)
+
+// The allocation-policy integration surface: node-bound thread caches,
+// policy-routed allocs, sweep-to-home free routing, and the RemoteFill
+// charges for cross-node pool traffic.
+
+// allocConfig returns a 2-node, 4-core config with per-node pools under
+// the given policy.
+func allocConfig(policy simmem.Policy) Config {
+	return Config{
+		Cores:   4,
+		Nodes:   2,
+		Quantum: 10_000,
+		Seed:    1,
+		Heap:    simmem.Config{Words: 1 << 14, Check: true, Poison: true, Policy: policy},
+	}
+}
+
+func TestHeapNodesMirrorTopology(t *testing.T) {
+	s := New(allocConfig(simmem.PolicyLocal))
+	if got := s.Heap().Pools(); got != 2 {
+		t.Fatalf("heap pools = %d, want 2 (mirrored from Config.Nodes)", got)
+	}
+	flat := New(Config{Cores: 2, Heap: simmem.Config{Words: 1 << 14, Policy: simmem.PolicyLocal}})
+	if got := flat.Heap().Pools(); got != 1 {
+		t.Fatalf("flat machine built %d pools", got)
+	}
+	global := New(Config{Cores: 4, Nodes: 2, Heap: simmem.Config{Words: 1 << 14}})
+	if got := global.Heap().Pools(); got != 1 {
+		t.Fatalf("global policy built %d pools", got)
+	}
+}
+
+func TestCacheBindsToPinnedNode(t *testing.T) {
+	s := New(allocConfig(simmem.PolicyLocal))
+	homes := make([]int, 2)
+	for n := 0; n < 2; n++ {
+		n := n
+		th := s.Spawn("w", func(th *Thread) {
+			if got := th.MemCache().Node(); got != n {
+				t.Errorf("thread pinned to node %d got cache on node %d", n, got)
+			}
+			th.Alloc(1, 64)
+			homes[n] = s.Heap().HomeNode(th.Reg(1))
+		})
+		th.Pin(n)
+	}
+	mustRun(t, s)
+	for n := 0; n < 2; n++ {
+		if homes[n] != n {
+			t.Errorf("node %d thread allocated from region %d under localalloc", n, homes[n])
+		}
+	}
+}
+
+func TestRemoteAllocChargesFill(t *testing.T) {
+	// Node 1 allocates a block resident on node 0 (freed there into
+	// node 0's pool, handed out again under interleave): the hand-out
+	// counts in AllocRemoteFills and charges RemoteFill, so the same
+	// program costs more cycles than its all-local twin.
+	run := func(policy simmem.Policy) (uint64, int64) {
+		s := New(allocConfig(policy))
+		var cycles int64
+		th := s.Spawn("w", func(th *Thread) {
+			for i := 0; i < 200; i++ {
+				th.Alloc(1, 172)
+			}
+			cycles = th.Cycles()
+		})
+		th.Pin(0)
+		mustRun(t, s)
+		return s.Stats().AllocRemoteFills, cycles
+	}
+	localFills, localCycles := run(simmem.PolicyLocal)
+	interFills, interCycles := run(simmem.PolicyInterleave)
+	if localFills != 0 {
+		t.Fatalf("localalloc charged %d alloc remote fills on a one-node workload", localFills)
+	}
+	if interFills == 0 {
+		t.Fatal("interleave from one node never charged an alloc remote fill")
+	}
+	if interCycles <= localCycles {
+		t.Fatalf("interleave cycles %d not above localalloc's %d despite %d charged fills",
+			interCycles, localCycles, interFills)
+	}
+}
+
+func TestCrossNodeFreeRoutesAndCharges(t *testing.T) {
+	// Node 0 allocates, node 1 frees: every block must return to node
+	// 0's pool (via the batched remote-free stage), and the freeing
+	// thread is charged one RemoteFill per flushed batch.
+	s := New(allocConfig(simmem.PolicyLocal))
+	const n = 96 // 3 remote batches
+	addrs := make([]uint64, 0, n)
+	var freeCycles int64
+	alloc := s.Spawn("alloc", func(th *Thread) {
+		for i := 0; i < n; i++ {
+			th.Alloc(1, 172)
+			addrs = append(addrs, th.Reg(1))
+		}
+	})
+	alloc.Pin(0)
+	free := s.Spawn("free", func(th *Thread) {
+		for len(addrs) < n {
+			th.Pause()
+		}
+		start := th.Cycles()
+		for _, a := range addrs {
+			th.FreeAddr(a)
+		}
+		freeCycles = th.Cycles() - start
+	})
+	free.Pin(1)
+	mustRun(t, s)
+
+	st := s.Heap().Stats()
+	if st.RemoteFrees != n {
+		t.Fatalf("RemoteFrees = %d, want %d", st.RemoteFrees, n)
+	}
+	if st.HomeFrees != 0 {
+		t.Fatalf("HomeFrees = %d, want 0", st.HomeFrees)
+	}
+	if s.Heap().MisplacedBlocks() != 0 {
+		t.Fatalf("misplaced blocks: %d", s.Heap().MisplacedBlocks())
+	}
+	// Per-free cost must reflect batch amortization, not a per-block
+	// hop: 3 flushes of RemoteFill on top of n Free costs.
+	costs := s.Config().Costs
+	want := int64(n)*costs.Free + 3*costs.RemoteFill
+	if freeCycles != want {
+		t.Fatalf("free cycles = %d, want %d (batched remote flushes)", freeCycles, want)
+	}
+}
+
+// TestChurnedThreadsLeaveNoMisplacedBlocks is the Cache.Flush
+// regression test: churned threads on a 2-node topology alloc on one
+// node, free blocks of both nodes, and exit mid-run.  Every magazine
+// and staged remote free must land in its home node's pool — before
+// the spill/flush attribution fix, exits dumped everything into one
+// list, which per-node pool accounting would surface as misplaced
+// blocks.
+func TestChurnedThreadsLeaveNoMisplacedBlocks(t *testing.T) {
+	s := New(allocConfig(simmem.PolicyLocal))
+	// Published blocks, per allocating node.  All simulated threads are
+	// serialized by the scheduler, so plain host-side slices are safe.
+	var pub [2][]uint64
+
+	parent := s.Spawn("parent", func(th *Thread) {
+		for g := 0; g < 3; g++ {
+			for n := 0; n < 2; n++ {
+				n := n
+				w := s.SpawnFrom(th, "churn", func(w *Thread) {
+					// Alloc locally: half published for the *other*
+					// node's next churn worker to free (cross-node
+					// routing), half freed here (home routing).
+					for i := 0; i < 40; i++ {
+						w.Alloc(1, 172)
+						if i%2 == 0 {
+							pub[n] = append(pub[n], w.Reg(1))
+						} else {
+							w.FreeAddr(w.Reg(1))
+						}
+					}
+					for _, a := range pub[1-n] {
+						w.FreeAddr(a)
+					}
+					pub[1-n] = pub[1-n][:0]
+				})
+				w.Pin(n)
+			}
+			th.Work(20_000)
+		}
+	})
+	parent.Pin(0)
+	mustRun(t, s)
+
+	// Whatever is still in the channel was never freed — fine.  What
+	// was freed must sit in its home pool.
+	if got := s.Heap().MisplacedBlocks(); got != 0 {
+		t.Fatalf("churned threads left %d misplaced free blocks", got)
+	}
+	st := s.Heap().Stats()
+	if st.HomeFrees == 0 || st.RemoteFrees == 0 {
+		t.Fatalf("churn exercised no mixed routing: %+v", st)
+	}
+}

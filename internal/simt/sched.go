@@ -60,6 +60,15 @@ type SimStats struct {
 	// miss when CacheSim is on, every access otherwise.
 	LocalLineFills  uint64 `json:"local_line_fills,omitempty"`
 	RemoteLineFills uint64 `json:"remote_line_fills,omitempty"`
+
+	// AllocRemoteFills counts allocations that were handed a block
+	// *resident* on a different node than the allocating thread and
+	// were charged Costs.RemoteFill for the cross-socket pull.  Only
+	// the per-node-pool policies charge (and count) here; under the
+	// global policy the same hand-outs are visible observationally in
+	// the heap's RemoteAllocs counter, but the cost model stays
+	// bit-identical to its capture.
+	AllocRemoteFills uint64 `json:"alloc_remote_fills,omitempty"`
 }
 
 // New creates a simulation from cfg.

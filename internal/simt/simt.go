@@ -104,6 +104,11 @@ type Config struct {
 	MaxCycles int64
 
 	// Heap configures the simulated heap shared by all threads.
+	// Heap.Nodes defaults to Nodes, so setting Heap.Policy to a
+	// non-global allocation policy on a multi-node machine splits the
+	// arena into per-node pools automatically; thread caches bind to
+	// their thread's node, and cross-node pool traffic charges
+	// Costs.RemoteFill.
 	Heap simmem.Config
 }
 
@@ -177,5 +182,12 @@ func (c *Config) fill() {
 	// The cache model masks with a power-of-two set count.
 	for c.CacheSets&(c.CacheSets-1) != 0 {
 		c.CacheSets++
+	}
+	// The heap's node pools mirror the machine topology unless the
+	// caller pinned them explicitly.  With Heap.Policy left at
+	// PolicyGlobal the heap keeps a single pool regardless, so the flat
+	// and global-policy models stay bit-identical.
+	if c.Heap.Nodes == 0 {
+		c.Heap.Nodes = c.Nodes
 	}
 }

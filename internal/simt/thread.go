@@ -122,7 +122,12 @@ func (t *Thread) main() {
 			t.sim.yieldCh <- t
 		}
 	}()
-	t.cache = t.sim.heap.NewCache()
+	// The thread cache binds to the thread's node at first dispatch
+	// (the pinned node when pinned): under per-node pools its refills
+	// draw from — and its frees return to — that node's share of the
+	// arena.  On the flat machine this is node 0, exactly the old
+	// unbound cache.
+	t.cache = t.sim.heap.NewCacheOn(t.Node())
 	for _, h := range t.sim.startHooks {
 		h(t)
 	}
@@ -395,12 +400,22 @@ func (t *Thread) Fence() {
 
 // Alloc allocates size bytes and places the block address in regs[dst].
 // Under a multi-node topology the fresh block's lines are homed on the
-// allocating thread's node (first-touch placement).
+// allocating thread's node (first-touch placement).  A block *resident*
+// on another node — its page was carved for a different node, the way a
+// global pool recycles one socket's memory into another socket's malloc
+// — counts in the heap's RemoteAllocs; when the heap has per-node pools
+// it additionally counts in SimStats.AllocRemoteFills and pays
+// Costs.RemoteFill for the cross-socket pull.  The global-policy cost
+// model is left untouched so its captured baselines stay bit-identical.
 func (t *Thread) Alloc(dst int, size int) {
 	t.charge(t.sim.cfg.Costs.Alloc + int64(size/simmem.WordSize))
 	t.safepoint()
 	addr := t.cache.Alloc(size)
 	if t.sim.topo.nodes > 1 {
+		if t.sim.heap.Pools() > 1 && t.sim.heap.ResidentNode(addr) != t.cache.Node() {
+			t.sim.stats.AllocRemoteFills++
+			t.charge(t.sim.cfg.Costs.RemoteFill)
+		}
 		t.sim.setHome(addr, size, t.Node())
 	}
 	t.checkReg(dst)
@@ -410,11 +425,16 @@ func (t *Thread) Alloc(dst int, size int) {
 // FreeAddr returns the block at addr to the heap.  This is the
 // *allocator* free used inside reclamation schemes once a node is
 // proven unreachable; application code calls the scheme's Retire
-// instead.
+// instead.  Under per-node pools the block routes to its home node;
+// cross-node frees stage in the thread cache and flush to the home
+// pool's remote-free inbox a batch at a time, charging Costs.RemoteFill
+// once per flushed batch (TCMalloc's transfer-cache amortization).
 func (t *Thread) FreeAddr(addr uint64) {
 	t.charge(t.sim.cfg.Costs.Free)
 	t.safepoint()
-	t.cache.Free(addr)
+	if t.cache.Free(addr) {
+		t.charge(t.sim.cfg.Costs.RemoteFill)
+	}
 }
 
 // LoadAddr reads a heap word by absolute address, for library-internal

@@ -157,9 +157,39 @@ func Builtins() []Scenario {
 	skewedRetire.StealThreshold = 256
 	skewedRetire.Phases = []Phase{{Name: "lopsided", Duration: 4_000_000, Mix: heavy}}
 
+	// Allocation-subsystem scenarios.  membind-contrast is numa-split's
+	// shape under a strict membind policy: every alloc binds to the
+	// requester's node, so producers' nodes come exclusively from node
+	// 0's arena — the `numactl --membind` side of the ROADMAP contrast
+	// (localalloc being the forgiving default the A8 ablation sweeps).
+	// realloc-local closes the loop the per-node sweep opened: per-node
+	// routing sweeps node-homed blocks back to their home pools and
+	// localalloc reallocs them on the same node, so retire on node N →
+	// collect on node N → realloc on node N without an interconnect hop.
+	membind := quickBase("membind-contrast",
+		"numa-split's producer/consumer shape under a strict membind allocation policy: every alloc binds to its node's arena")
+	membind.Nodes = 2
+	membind.PinPolicy = "split"
+	membind.WorkerMix = producerConsumer
+	membind.Shards = 8
+	membind.HelpFree = true
+	membind.AllocPolicy = "membind"
+	membind.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
+
+	reallocLocal := quickBase("realloc-local",
+		"the closed loop: per-node retirement routing sweeps blocks to their home pools, localalloc reallocs them on the same node")
+	reallocLocal.Nodes = 2
+	reallocLocal.PinPolicy = "split"
+	reallocLocal.WorkerMix = producerConsumer
+	reallocLocal.Shards = 8
+	reallocLocal.HelpFree = true
+	reallocLocal.PerNode = true
+	reallocLocal.AllocPolicy = "localalloc"
+	reallocLocal.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
+
 	return []Scenario{
 		baseline, zipf, hotspot, window, storm, burst, churn, over, overChurn,
-		split, balanced, perNodeReclaim, skewedRetire,
+		split, balanced, perNodeReclaim, skewedRetire, membind, reallocLocal,
 	}
 }
 

@@ -24,7 +24,11 @@
 // and oversubscription.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"threadscan/internal/simmem"
+)
 
 // Mix is an operation mix: percentages of inserts (pushes) and removes
 // (pops); the remainder are lookups (peeks).
@@ -179,6 +183,22 @@ type Scenario struct {
 	// core's default (4x the per-node collect trigger).
 	StealThreshold int
 
+	// AllocPolicy selects the simulated allocator's NUMA placement
+	// policy — the numactl contrast:
+	//
+	//	""/"global"   one machine-wide pool (the pre-allocpool heap)
+	//	"localalloc"  per-node pools; allocate from the requester's
+	//	              node, fall back only when its region is exhausted
+	//	"membind"     per-node pools; strictly bind to the requester's
+	//	              node (OOM when its region runs out)
+	//	"interleave"  per-node pools; rotate allocations round-robin
+	//
+	// Non-global policies split the arena into per-node pools, bind
+	// thread caches to their thread's node, and route frees to each
+	// block's home pool.  Inert on a flat machine (Nodes <= 1), where
+	// the heap keeps a single pool regardless.
+	AllocPolicy string
+
 	// OpsPerWorker, when positive, switches the engine from the
 	// virtual-time deadline to a fixed operation budget: every worker
 	// executes exactly this many operations, with phase boundaries
@@ -265,6 +285,9 @@ func (s *Scenario) Fill() error {
 	case "", "affinity", "rr":
 	default:
 		return fmt.Errorf("workload: %s: unknown claim policy %q", s.Name, s.ClaimPolicy)
+	}
+	if _, err := simmem.ParsePolicy(s.AllocPolicy); err != nil {
+		return fmt.Errorf("workload: %s: %w", s.Name, err)
 	}
 	if len(s.WorkerMix) > 0 {
 		if len(s.WorkerMix) > s.Threads {
