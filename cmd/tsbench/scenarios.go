@@ -11,6 +11,7 @@ import (
 
 	"threadscan/internal/core"
 	"threadscan/internal/harness"
+	"threadscan/internal/obs"
 	"threadscan/internal/simmem"
 	"threadscan/internal/workload"
 )
@@ -41,6 +42,8 @@ func runScenarios(args []string) {
 		jsonPath = fs.String("json", "-", `JSON output: "-" for stdout, else a file path`)
 		samples  = fs.Bool("samples", false, "include the full footprint time series in the JSON")
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
+		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (open in chrome://tracing or Perfetto)")
+		profile  = fs.Bool("profile", false, "print a per-stage cycle-attribution profile for every run on stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tsbench scenarios [flags]")
@@ -59,17 +62,18 @@ func runScenarios(args []string) {
 		return
 	}
 
-	var specs []workload.Scenario
-	if *names == "" {
-		specs = workload.Builtins()
-	} else {
-		for _, n := range strings.Split(*names, ",") {
-			s, ok := workload.ByName(strings.TrimSpace(n))
-			if !ok {
-				fatal(fmt.Errorf("unknown scenario %q (try -list)", n))
-			}
-			specs = append(specs, s)
-		}
+	usageErr := func(err error) {
+		fmt.Fprintln(os.Stderr, "tsbench scenarios:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	// An unknown scenario name is a usage error at parse time — for
+	// -profile and -trace especially, failing mid-grid after minutes of
+	// simulation would waste the whole run.
+	specs, err := resolveScenarios(*names)
+	if err != nil {
+		usageErr(err)
 	}
 
 	// Validate the topology flags against every selected scenario up
@@ -78,12 +82,22 @@ func runScenarios(args []string) {
 	// failure — and never a silent clamp that reports results for a
 	// different machine than the one asked for.
 	if err := validateTopologyFlags(specs, *nodes, *pin, *claim, *perNode, *steal, *allocPol); err != nil {
-		fmt.Fprintln(os.Stderr, "tsbench scenarios:", err)
-		fs.Usage()
-		os.Exit(2)
+		usageErr(err)
+	}
+
+	// The trace file opens before anything runs for the same reason: an
+	// unwritable path must fail as a usage error, not after the grid.
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = createTraceFile(*trace)
+		if err != nil {
+			usageErr(err)
+		}
+		defer traceFile.Close()
 	}
 
 	var results []harness.ScenarioResult
+	var traceRuns []obs.TraceRun
 	for _, base := range specs {
 		for _, dsName := range strings.Split(*dss, ",") {
 			for _, scheme := range strings.Split(*schemes, ",") {
@@ -118,9 +132,30 @@ func runScenarios(args []string) {
 				if *allocPol != "" {
 					spec.AllocPolicy = *allocPol
 				}
-				r, err := harness.RunScenario(spec)
+				rec := obs.NewRecorder()
+				if traceFile != nil {
+					rec = obs.NewTraceRecorder()
+				}
+				r, err := harness.RunScenarioRecorded(spec, rec)
 				if err != nil {
 					fatal(err)
+				}
+				label := fmt.Sprintf("%s %s/%s", r.Name, r.DS, r.Scheme)
+				if traceFile != nil {
+					var ws []obs.Window
+					for _, pw := range r.Scenario.PhaseWindows() {
+						ws = append(ws, obs.Window{
+							Name:  pw.Name,
+							Start: r.MeasuredStart + pw.Start,
+							End:   r.MeasuredStart + pw.End,
+						})
+					}
+					traceRuns = append(traceRuns, obs.TraceRun{Label: label, Rec: rec, Windows: ws})
+				}
+				if *profile {
+					if err := obs.WriteProfile(os.Stderr, label, rec); err != nil {
+						fatal(err)
+					}
 				}
 				if r.AccountingError != "" {
 					fmt.Fprintf(os.Stderr, "! %s %s/%s: %s\n", r.Name, r.DS, r.Scheme, r.AccountingError)
@@ -136,6 +171,15 @@ func runScenarios(args []string) {
 				}
 				fmt.Fprintln(os.Stderr, line)
 			}
+		}
+	}
+
+	if traceFile != nil {
+		if err := obs.WriteChromeTrace(traceFile, traceRuns); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -157,6 +201,34 @@ func runScenarios(args []string) {
 	if err := enc.Encode(results); err != nil {
 		fatal(err)
 	}
+}
+
+// resolveScenarios maps the -scenario flag to scenario specs (all
+// built-ins when empty).  An unknown name is a usage error.
+func resolveScenarios(names string) ([]workload.Scenario, error) {
+	if names == "" {
+		return workload.Builtins(), nil
+	}
+	var specs []workload.Scenario
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		s, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (try -list)", n)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// createTraceFile opens the -trace output for writing, wrapping any
+// failure so the caller can report it as a flag usage error.
+func createTraceFile(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-trace: %w", err)
+	}
+	return f, nil
 }
 
 // validateTopologyFlags checks the scenarios subcommand's topology

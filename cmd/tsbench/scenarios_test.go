@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -90,5 +91,57 @@ func TestValidateTopologyFlags(t *testing.T) {
 		} else if !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// resolveScenarios must name-check every -scenario entry at parse time
+// instead of failing mid-grid.
+func TestResolveScenarios(t *testing.T) {
+	all, err := resolveScenarios("")
+	if err != nil || len(all) != len(workload.Builtins()) {
+		t.Fatalf("empty selector: %d specs, err %v (want the full builtin suite)", len(all), err)
+	}
+	two, err := resolveScenarios("numa-split, delete-storm")
+	if err != nil || len(two) != 2 || two[0].Name != "numa-split" || two[1].Name != "delete-storm" {
+		t.Fatalf("two-name selector: %+v, err %v", two, err)
+	}
+	if _, err := resolveScenarios("numa-split,nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown name: err %v, want unknown-scenario usage error", err)
+	}
+}
+
+// createTraceFile must surface an unwritable -trace path as a usage
+// error at parse time, before minutes of simulation run for nothing.
+func TestCreateTraceFile(t *testing.T) {
+	if _, err := createTraceFile("/no/such/dir/trace.json"); err == nil ||
+		!strings.Contains(err.Error(), "-trace") {
+		t.Fatalf("unwritable path: err %v, want -trace usage error", err)
+	}
+	path := t.TempDir() + "/trace.json"
+	f, err := createTraceFile(path)
+	if err != nil {
+		t.Fatalf("writable path: %v", err)
+	}
+	f.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not created: %v", err)
+	}
+}
+
+// The root command owns no tracer: -trace there is a usage error that
+// redirects to the scenarios subcommand (and names the -ablation
+// conflict explicitly).
+func TestValidateRootTrace(t *testing.T) {
+	if err := validateRootTrace("", "stall"); err != nil {
+		t.Fatalf("no -trace: unexpected error %v", err)
+	}
+	if err := validateRootTrace("out.json", "stall"); err == nil ||
+		!strings.Contains(err.Error(), "cannot be combined with -ablation") {
+		t.Fatalf("-trace with -ablation: err %v", err)
+	}
+	if err := validateRootTrace("out.json", ""); err == nil ||
+		!strings.Contains(err.Error(), "applies to the scenarios subcommand") {
+		t.Fatalf("-trace alone: err %v", err)
 	}
 }

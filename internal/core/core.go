@@ -43,6 +43,7 @@ package core
 import (
 	"fmt"
 
+	"threadscan/internal/obs"
 	"threadscan/internal/simt"
 )
 
@@ -172,6 +173,13 @@ type Config struct {
 	// CollectWatermark/nodes when the watermark is set, else
 	// BufferSize x the node's core count).
 	StealThreshold int
+
+	// Obs, when non-nil, records collect-lifecycle spans (trigger,
+	// signal broadcast, scan, handshake wait, shard sort, sweep, free)
+	// against the recorder.  Recording never charges virtual cycles, so
+	// attaching a recorder cannot change any simulation outcome; nil
+	// (the default) makes every recording site a no-op.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -244,6 +252,7 @@ type Stats struct {
 type ThreadScan struct {
 	sim *simt.Sim
 	cfg Config
+	obs *obs.Recorder // == cfg.Obs; nil-safe on every call
 
 	lock *simt.Mutex // at most one reclaimer (paper §4.2)
 
@@ -322,6 +331,7 @@ func New(sim *simt.Sim, cfg Config) *ThreadScan {
 	ts := &ThreadScan{
 		sim:        sim,
 		cfg:        cfg,
+		obs:        cfg.Obs,
 		lock:       sim.NewMutex("threadscan.reclaim"),
 		shards:     newShardSet(cfg.Shards, sim.Nodes()),
 		hs:         sim.NewHandshake("threadscan.scan"),
@@ -457,6 +467,7 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 				ts.lock.Lock(t)
 				if ts.ringCount >= ts.cfg.CollectWatermark {
 					ts.stats.WatermarkCollects++
+					ts.obs.Instant(t, obs.KindWatermark)
 					ts.collect(t)
 				} else {
 					// Another reclaimer collected while we waited.
@@ -478,6 +489,7 @@ func (ts *ThreadScan) Free(t *simt.Thread, addr uint64) {
 		ts.lock.Unlock(t)
 		return
 	}
+	ts.obs.Instant(t, obs.KindTrigger)
 	ts.collect(t)
 	ts.ringCount++
 	if !tt.ring.Push(addr) {
@@ -651,6 +663,8 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 	start := t.Cycles()
 	ts.stats.Collects++
 	ts.reclaimerID = t.ID()
+	ts.obs.Begin(t, obs.StageCollect)
+	defer ts.obs.End(t)
 
 	// HelpFree: the previous phase's unmarked nodes become this phase's
 	// help queue — scanners free them inside their handlers (§7:
@@ -754,7 +768,9 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 
 	// Wait for all ACKs (line 9) — the scan barrier.  The wait burns
 	// reclaimer cycles: the cost Figure 4 charges to oversubscription.
+	ts.obs.Begin(t, obs.StageHandshake)
 	ts.hs.Await(t)
+	ts.obs.End(t)
 
 	// Prepare whatever shards no probe touched and no scanner claimed
 	// (their nodes are unmarked by definition — nothing probed them —
@@ -770,6 +786,7 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 	// scanners instead of being freed here — as one chunked queue when
 	// unsharded, as whole claimable per-shard lists when sharded.
 	tt := ts.perThread[t.ID()]
+	ts.obs.Begin(t, obs.StageSweep)
 	for si := range ts.shards.sub {
 		sh := &ts.shards.sub[si]
 		var deferred []uint64
@@ -797,6 +814,7 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 			ts.pendingShards = append(ts.pendingShards, freeList{addrs: deferred, home: sh.home})
 		}
 	}
+	ts.obs.End(t)
 	// Whatever this phase's scanners did not help-free, the reclaimer
 	// finishes, bounding deferral to one phase.
 	ts.drainHelpQueue(t)
@@ -807,6 +825,7 @@ func (ts *ThreadScan) collect(t *simt.Thread) {
 // 3–5).  Exited threads deregister under the lock, so everyone signaled
 // will ACK.
 func (ts *ThreadScan) signalPeers(t *simt.Thread) {
+	ts.obs.Begin(t, obs.StageSignal)
 	ts.hs.Arm()
 	threads := ts.sim.Threads()
 	for id := range ts.registered {
@@ -817,6 +836,7 @@ func (ts *ThreadScan) signalPeers(t *simt.Thread) {
 			ts.hs.Expect(1)
 		}
 	}
+	ts.obs.End(t)
 }
 
 // prepareShard makes shard i probe-ready — sort+dedup (binary/linear)
@@ -840,6 +860,7 @@ func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
 		sh.ready = true
 		return false
 	}
+	ts.obs.Begin(t, obs.StageSort)
 	c := ts.costs()
 	n := len(sh.buf)
 	switch ts.cfg.Lookup {
@@ -883,6 +904,7 @@ func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
 	if t.ID() != ts.reclaimerID {
 		ts.stats.HelpSortedShards++
 	}
+	ts.obs.End(t)
 	return true
 }
 
@@ -944,6 +966,10 @@ func (ts *ThreadScan) flushing(t *simt.Thread) bool {
 // during which scanners' helpFree could otherwise pop — and double-free
 // — the same entries.
 func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
+	if len(ts.helpQueue) == 0 && len(ts.helpShards) == 0 {
+		return
+	}
+	ts.obs.Begin(t, obs.StageFree)
 	q := ts.helpQueue
 	ts.helpQueue = nil
 	for _, addr := range q {
@@ -959,6 +985,7 @@ func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 			}
 		}
 	}
+	ts.obs.End(t)
 }
 
 // scanHandler is TS-Scan (Algorithm 1, lines 18–26), run in the signal
@@ -967,6 +994,7 @@ func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 // previous phase's queue, claim an unprepared shard to sort, then scan.
 func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 	h0 := t.HandlerCycles()
+	ts.obs.Begin(t, obs.StageScan)
 	if ts.cfg.HelpFree {
 		ts.helpFree(t)
 	}
@@ -978,6 +1006,7 @@ func (ts *ThreadScan) scanHandler(t *simt.Thread) {
 	c := ts.costs()
 	t.Charge(c.Store + c.Fence)
 	ts.hs.Ack(t)
+	ts.obs.End(t)
 	ts.stats.HandlerCycles += t.HandlerCycles() - h0
 }
 
@@ -1046,6 +1075,11 @@ func (ts *ThreadScan) helpSort(t *simt.Thread) {
 // That drain is the progress fallback; the claim policy only decides
 // who sweeps sooner, never whether the memory is reclaimed.
 func (ts *ThreadScan) helpFree(t *simt.Thread) {
+	if len(ts.helpShards) == 0 && len(ts.helpQueue) == 0 {
+		return
+	}
+	ts.obs.Begin(t, obs.StageFree)
+	defer ts.obs.End(t)
 	n := ts.cfg.HelpFreeChunk
 	// Per-node routing enforces home-gated sweeping regardless of the
 	// claim policy: StealThreshold's contract — below it, remote

@@ -1,6 +1,9 @@
 package core
 
-import "threadscan/internal/simt"
+import (
+	"threadscan/internal/obs"
+	"threadscan/internal/simt"
+)
 
 // Per-node retirement routing and node-local reclaimers (Config.PerNode).
 //
@@ -104,6 +107,9 @@ func (ts *ThreadScan) maybeCollectRouted(t *simt.Thread) {
 		if len(ts.nodeBuf[my]) >= ts.nodeTrigger[my] {
 			if ts.cfg.CollectWatermark > 0 {
 				ts.stats.WatermarkCollects++
+				ts.obs.Instant(t, obs.KindWatermark)
+			} else {
+				ts.obs.Instant(t, obs.KindTrigger)
 			}
 			ts.collectNode(t, my)
 		} else {
@@ -119,6 +125,7 @@ func (ts *ThreadScan) maybeCollectRouted(t *simt.Thread) {
 		ts.lock.Lock(t)
 		if len(ts.nodeBuf[n]) >= ts.stealAt {
 			ts.stats.StolenCollects++
+			ts.obs.Instant(t, obs.KindSteal)
 			ts.collectNode(t, n)
 		} else {
 			ts.stats.AvoidedCollects++
@@ -140,6 +147,8 @@ func (ts *ThreadScan) collectNode(t *simt.Thread, node int) {
 	ts.stats.NodeCollects[node]++
 	ts.reclaimerID = t.ID()
 	ts.collecting = node
+	ts.obs.Begin(t, obs.StageCollect)
+	defer ts.obs.End(t)
 
 	// The previous phase's deferred per-shard sweep lists become
 	// claimable by this phase's scanners (each list keeps the home of
@@ -189,7 +198,9 @@ func (ts *ThreadScan) collectNode(t *simt.Thread, node int) {
 	ts.scanThread(t)
 
 	// The scan barrier — the only cross-node handshake of the phase.
+	ts.obs.Begin(t, obs.StageHandshake)
 	ts.hs.Await(t)
+	ts.obs.End(t)
 
 	if ts.shards.k() > 1 {
 		for i := range ts.shards.sub {
@@ -199,6 +210,7 @@ func (ts *ThreadScan) collectNode(t *simt.Thread, node int) {
 
 	// Sweep.  Every line here is homed on node (routing put it there),
 	// so a reclaimer of that node frees without a single remote fill.
+	ts.obs.Begin(t, obs.StageSweep)
 	for si := range ts.shards.sub {
 		sh := &ts.shards.sub[si]
 		var deferred []uint64
@@ -221,6 +233,7 @@ func (ts *ThreadScan) collectNode(t *simt.Thread, node int) {
 			ts.pendingShards = append(ts.pendingShards, freeList{addrs: deferred, home: node})
 		}
 	}
+	ts.obs.End(t)
 	ts.drainNodeLists(t)
 	ts.collecting = -1
 	ts.stats.CollectCycles += t.Cycles() - start
@@ -233,9 +246,14 @@ func (ts *ThreadScan) collectNode(t *simt.Thread, node int) {
 // it drains them too, so deferral stays bounded even when a node has
 // no thread left to sweep for it.
 func (ts *ThreadScan) drainNodeLists(t *simt.Thread) {
+	if len(ts.helpShards) == 0 {
+		return
+	}
 	overloaded := ts.deferredBacklog() >= ts.stealAt || ts.flushing(t)
 	lists := ts.helpShards
 	ts.helpShards = nil
+	ts.obs.Begin(t, obs.StageFree)
+	defer ts.obs.End(t)
 	my := t.Node()
 	for _, list := range lists {
 		if list.home != my && !overloaded {

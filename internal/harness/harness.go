@@ -20,6 +20,7 @@ import (
 
 	"threadscan/internal/core"
 	"threadscan/internal/ds"
+	"threadscan/internal/obs"
 	"threadscan/internal/reclaim"
 	"threadscan/internal/simmem"
 	"threadscan/internal/simt"
@@ -81,6 +82,12 @@ type Config struct {
 	HeapWords int
 	CacheSim  bool
 	Chaos     bool
+
+	// Obs, when non-nil, records lifecycle spans and latency histograms
+	// for the run (threaded into every scheme and attached to the
+	// simulator as its probe).  Recording never charges virtual cycles,
+	// so results are bit-identical with or without it.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -190,22 +197,23 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 		return reclaim.NewLeaky(sim), nil, nil
 	case "hazard":
 		return reclaim.NewHazard(sim, reclaim.HazardConfig{
-			Slots: ds.SkipListHazardSlots, Batch: cfg.Batch}), nil, nil
+			Slots: ds.SkipListHazardSlots, Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
 	case "epoch":
-		return reclaim.NewEpoch(sim, reclaim.EpochConfig{Batch: cfg.Batch}), nil, nil
+		return reclaim.NewEpoch(sim, reclaim.EpochConfig{
+			Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
 	case "slow-epoch":
 		return reclaim.NewEpoch(sim, reclaim.EpochConfig{
 			Batch: cfg.Batch, DelayCycles: cfg.SlowDelay,
-			DelayVictim: cfg.DelayVictim}), nil, nil
+			DelayVictim: cfg.DelayVictim, Obs: cfg.Obs}), nil, nil
 	case "threadscan":
 		ts := reclaim.NewThreadScan(sim, core.Config{
 			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
 			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim,
-			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold})
+			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold, Obs: cfg.Obs})
 		return ts, ts.Core(), nil
 	case "stacktrack":
 		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{
-			SegmentLen: cfg.SegmentLen, Batch: cfg.Batch}), nil, nil
+			SegmentLen: cfg.SegmentLen, Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
 	default:
 		return nil, nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
 	}
@@ -244,6 +252,10 @@ func Run(cfg Config) (Result, error) {
 		MaxCycles:  cfg.Duration*int64(cfg.Threads+4)*4 + 4_000_000_000,
 		Heap:       simmem.Config{Words: cfg.HeapWords, Check: false, Poison: true, Policy: allocPolicy},
 	})
+	if cfg.Obs != nil {
+		sim.SetProbe(cfg.Obs)
+		sim.Heap().SetObserver(cfg.Obs)
+	}
 	sc, tsCore, err := BuildScheme(sim, cfg)
 	if err != nil {
 		return Result{}, err

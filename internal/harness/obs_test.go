@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"threadscan/internal/obs"
+	"threadscan/internal/workload"
+)
+
+// TestObservabilityOffIsBitIdentical: the observability layer's safety
+// contract.  Replaying the captured baseline with recording disabled
+// (nil recorder) AND with full span tracing must both reproduce every
+// virtual-cycle result bit-identically — the recorder never charges
+// cycles, so only host-side memory differs.
+func TestObservabilityOffIsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline replay skipped in -short")
+	}
+	raw, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("no captured baseline: %v", err)
+	}
+	var baseline []struct {
+		Scenario      string `json:"scenario"`
+		DS            string `json:"ds"`
+		Scheme        string `json:"scheme"`
+		Ops           uint64 `json:"ops"`
+		ElapsedCycles int64  `json:"elapsed_cycles"`
+		TraceHash     uint64 `json:"trace_hash"`
+		FinalSize     int    `json:"final_size"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	want := map[[3]string]bool{
+		{"uniform-baseline", "list", "threadscan"}: true,
+		{"delete-storm", "stack", "epoch"}:         true,
+		{"thread-churn", "queue", "threadscan"}:    true,
+		{"numa-split", "stack", "threadscan"}:      true,
+	}
+	recorders := map[string]func() *obs.Recorder{
+		"disabled": func() *obs.Recorder { return nil },
+		"tracing":  obs.NewTraceRecorder,
+	}
+	replayed := 0
+	for _, b := range baseline {
+		if !want[[3]string{b.Scenario, b.DS, b.Scheme}] {
+			continue
+		}
+		spec, ok := workload.ByName(b.Scenario)
+		if !ok {
+			t.Fatalf("baseline names unknown scenario %q", b.Scenario)
+		}
+		spec.DS, spec.Scheme, spec.Seed = b.DS, b.Scheme, 1
+		for mode, mk := range recorders {
+			r, err := RunScenarioRecorded(spec, mk())
+			if err != nil {
+				t.Fatalf("%s/%s/%s (%s): %v", b.Scenario, b.DS, b.Scheme, mode, err)
+			}
+			if r.Ops != b.Ops || r.ElapsedCycles != b.ElapsedCycles ||
+				r.TraceHash != b.TraceHash || r.FinalSize != b.FinalSize {
+				t.Errorf("%s/%s/%s with %s recorder diverged from baseline:\n  ops %d != %d\n  cycles %d != %d\n  trace %x != %x\n  final %d != %d",
+					b.Scenario, b.DS, b.Scheme, mode, r.Ops, b.Ops,
+					r.ElapsedCycles, b.ElapsedCycles, r.TraceHash, b.TraceHash,
+					r.FinalSize, b.FinalSize)
+			}
+			if r.Latency == nil {
+				t.Errorf("%s/%s/%s (%s): Latency summary missing", b.Scenario, b.DS, b.Scheme, mode)
+			}
+		}
+		replayed++
+	}
+	if replayed != len(want) {
+		t.Fatalf("replayed %d of %d baseline rows — regenerate BENCH_baseline.json?", replayed, len(want))
+	}
+}
+
+// TestChurnedThreadsMergeOnce: SpawnFrom-churned workers record into
+// the same recorder as persistent workers; every op observed exactly
+// once (no loss, no double count), proven by the histogram count
+// matching the engine's own op total.
+func TestChurnedThreadsMergeOnce(t *testing.T) {
+	spec, ok := workload.ByName("thread-churn")
+	if !ok {
+		t.Fatal("thread-churn builtin missing")
+	}
+	spec = spec.Scale(0.25)
+	spec.DS, spec.Scheme, spec.Seed = "stack", "threadscan", 1
+	rec := obs.NewRecorder()
+	res, err := RunScenarioRecorded(spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChurnWorkers == 0 {
+		t.Fatal("scenario churned no workers — test proves nothing")
+	}
+	if got := rec.StageCount(obs.StageOp); got != int64(res.Ops) {
+		t.Errorf("recorder op count %d != engine ops %d (churned threads lost or double-counted)",
+			got, res.Ops)
+	}
+	if res.Latency.Op.Count != int64(res.Ops) {
+		t.Errorf("summary op count %d != engine ops %d", res.Latency.Op.Count, res.Ops)
+	}
+	if res.Latency.Op.P50 <= 0 || res.Latency.Op.P999 < res.Latency.Op.P50 {
+		t.Errorf("implausible op quantiles: %+v", res.Latency.Op)
+	}
+}
+
+// TestTraceCoversLifecycle: a traced numa-split run must contain at
+// least one complete span for every collect-lifecycle stage the
+// acceptance criteria name.
+func TestTraceCoversLifecycle(t *testing.T) {
+	spec, ok := workload.ByName("numa-split")
+	if !ok {
+		t.Fatal("numa-split builtin missing")
+	}
+	spec = spec.Scale(0.5)
+	spec.DS, spec.Scheme, spec.Seed = "stack", "threadscan", 1
+	rec := obs.NewTraceRecorder()
+	res, err := RunScenarioRecorded(spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	runs := []obs.TraceRun{{Label: "numa-split stack/threadscan", Rec: rec}}
+	for _, pw := range res.Scenario.PhaseWindows() {
+		runs[0].Windows = append(runs[0].Windows, obs.Window{
+			Name: pw.Name, Start: res.MeasuredStart + pw.Start, End: res.MeasuredStart + pw.End})
+	}
+	if err := obs.WriteChromeTrace(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans[e.Name]++
+		}
+	}
+	for _, stage := range []string{"signal", "scan", "handshake-wait", "sort", "sweep", "free"} {
+		if spans[stage] == 0 {
+			t.Errorf("trace has no %q span (spans present: %v)", stage, spans)
+		}
+	}
+	if spans["ferry"] == 0 {
+		t.Errorf("trace has no phase window row (spans present: %v)", spans)
+	}
+}

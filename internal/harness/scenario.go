@@ -12,6 +12,7 @@ import (
 
 	"threadscan/internal/core"
 	"threadscan/internal/ds"
+	"threadscan/internal/obs"
 	"threadscan/internal/reclaim"
 	"threadscan/internal/simmem"
 	"threadscan/internal/simt"
@@ -44,8 +45,10 @@ type ScenarioResult struct {
 	// (AllocRemoteFills).
 	AllocPolicy string `json:"alloc_policy,omitempty"`
 
-	Ops            uint64  `json:"ops"`
-	ElapsedCycles  int64   `json:"elapsed_cycles"`
+	Ops           uint64 `json:"ops"`
+	ElapsedCycles int64  `json:"elapsed_cycles"`
+	MeasuredStart int64  `json:"measured_start_cycles"` // virtual time the measured window opened
+
 	VirtualSeconds float64 `json:"virtual_seconds"`
 	Throughput     float64 `json:"throughput_ops_per_vsec"`
 
@@ -81,6 +84,13 @@ type ScenarioResult struct {
 	AccountingError string `json:"accounting_error,omitempty"`
 
 	Footprint Footprint `json:"footprint"`
+
+	// Latency is the observability summary for the run: per-op latency
+	// quantiles, max pause, and per-stage breakdowns.  Always present —
+	// RunScenario attaches a histogram-only recorder by default, which
+	// never charges virtual cycles, so every other field is identical
+	// with or without it.
+	Latency *obs.Summary `json:"latency"`
 
 	SchemeStats reclaim.Stats `json:"scheme_stats"`
 	Core        *core.Stats   `json:"threadscan_stats,omitempty"`
@@ -205,6 +215,7 @@ type scenarioRun struct {
 	sim    *simt.Sim
 	scheme reclaim.Scheme
 	target workload.Target
+	rec    *obs.Recorder // nil-safe on every call
 
 	phaseEnd []int64 // cumulative phase end offsets
 
@@ -250,7 +261,9 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 			mix = *override
 		}
 		op := mix.Pick(rng.Intn(100))
+		opStart := th.Now()
 		ok := r.target.Apply(th, op, key)
+		r.rec.Observe(th, obs.StageOp, th.Now()-opStart)
 		tr.Record(op, key, ok)
 		if keyed != nil {
 			keyed.Record(op, key, ok)
@@ -302,8 +315,20 @@ func (r *scenarioRun) retire(th *simt.Thread) {
 	r.mutators--
 }
 
-// RunScenario executes one scenario and returns its result.
+// RunScenario executes one scenario and returns its result, recording
+// latency histograms (but no trace spans) into a fresh recorder.
 func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
+	return RunScenarioRecorded(spec, obs.NewRecorder())
+}
+
+// RunScenarioRecorded executes one scenario with the given recorder
+// attached to the simulator, the allocator, and the reclamation scheme.
+// Pass obs.NewTraceRecorder() to additionally capture per-thread spans
+// for Chrome-trace export, or nil to disable observability entirely
+// (the hot path then never allocates).  The recorder never charges
+// virtual cycles: every result field except Latency is identical across
+// all three choices.
+func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioResult, error) {
 	if err := spec.Fill(); err != nil {
 		return ScenarioResult{}, err
 	}
@@ -336,6 +361,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		PerNode:        spec.PerNode,
 		StealThreshold: spec.StealThreshold,
 		DelayVictim:    1,
+		Obs:            rec,
 	}
 	schemeCfg.fill()
 
@@ -365,6 +391,10 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 			Words: scenarioHeapWords(&spec, nodeWords), Check: true, Poison: true,
 			Policy: allocPolicy},
 	})
+	if rec != nil {
+		sim.SetProbe(rec)
+		sim.Heap().SetObserver(rec)
+	}
 	sc, tsCore, err := BuildScheme(sim, schemeCfg)
 	if err != nil {
 		return ScenarioResult{}, err
@@ -379,6 +409,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		sim:      sim,
 		scheme:   sc,
 		target:   target,
+		rec:      rec,
 		startAt:  make(map[int]int64),
 		finishAt: make(map[int]int64),
 		traces:   make(map[int]uint64),
@@ -496,6 +527,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		AllocPolicy:         spec.AllocPolicy,
 		ChurnWorkers:        r.churned,
 		LeakedRegistrations: -1,
+		Latency:             rec.Summary(),
 		Footprint:           r.sampler.fp,
 		SchemeStats:         sc.Stats(),
 		Sim:                 sim.Stats(),
@@ -552,6 +584,7 @@ func RunScenario(spec workload.Scenario) (ScenarioResult, error) {
 		}
 	}
 	res.ElapsedCycles = maxFinish - minStart
+	res.MeasuredStart = minStart
 	res.VirtualSeconds = float64(res.ElapsedCycles) / 1e9
 	if res.VirtualSeconds > 0 {
 		res.Throughput = float64(res.Ops) / res.VirtualSeconds

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Values below histSubBuckets get a bucket each, so recovery is exact.
+func TestHistExactBelowSubBuckets(t *testing.T) {
+	for v := int64(0); v < histSubBuckets; v++ {
+		h := NewHist()
+		h.Observe(v)
+		if got := h.Quantile(0.5); got != v {
+			t.Errorf("Quantile(0.5) after Observe(%d) = %d", v, got)
+		}
+		if got := h.Quantile(1); got != v {
+			t.Errorf("Quantile(1) after Observe(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestHistBoundaries(t *testing.T) {
+	h := NewHist()
+	h.Observe(0)
+	h.Observe(-17) // negative durations clamp to 0, never index out of range
+	h.Observe(1)
+	h.Observe(math.MaxInt64)
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Max() != math.MaxInt64 {
+		t.Fatalf("Max = %d, want MaxInt64", h.Max())
+	}
+	// The top value lands in the last row without panicking, and the
+	// quantile clamp keeps the estimate at the exact observed max.
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("Quantile(1) = %d, want MaxInt64", got)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("Quantile(0.25) = %d, want 0", got)
+	}
+}
+
+func TestHistBucketOfRange(t *testing.T) {
+	// Every representative value round-trips into a bucket whose
+	// representative is >= it (upper-bound recovery) — probed across
+	// all rows, including both edges of each.
+	for e := 0; e < 63; e++ {
+		for _, v := range []int64{1 << e, 1<<e + 1, 1<<(e+1) - 1} {
+			if v <= 0 {
+				continue
+			}
+			idx := bucketOf(v)
+			if idx < 0 || idx >= histBuckets {
+				t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+			}
+			if rep := bucketValue(idx); rep < v {
+				t.Fatalf("bucketValue(bucketOf(%d)) = %d < value", v, rep)
+			}
+		}
+	}
+}
+
+// The bucket representative is an upper bound within 1/16 (6.25%) of
+// the true value.  The clamp-to-max shortcut must not be what passes
+// this, so each probe rides with a far larger observation.
+func TestHistBoundedRelativeError(t *testing.T) {
+	for v := int64(1); v <= 100_000; v = v*7/4 + 1 {
+		h := NewHist()
+		h.Observe(v)
+		h.Observe(1 << 50)
+		got := h.Quantile(0.5) // rank 1 of 2: the bucket holding v
+		if got < v {
+			t.Fatalf("Quantile(0.5) = %d < observed %d", got, v)
+		}
+		if got > v+v/16 {
+			t.Fatalf("Quantile(0.5) = %d exceeds %d by more than 6.25%%", got, v)
+		}
+	}
+}
+
+func TestHistQuantileKnownDistribution(t *testing.T) {
+	h := NewHist()
+	for v := int64(1); v <= 31; v++ {
+		h.Observe(v)
+	}
+	// All values exact: rank ceil(q*31) recovers the true order statistic.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0, 1}, {0.5, 16}, {0.999, 31}, {1, 31}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if h.Sum() != 31*32/2 {
+		t.Errorf("Sum = %d, want %d", h.Sum(), 31*32/2)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", h)
+	}
+}
+
+func TestHistMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a, b := NewHist(), NewHist()
+	for i := 0; i < 1000; i++ {
+		a.Observe(rng.Int63n(1 << 30))
+		b.Observe(rng.Int63n(1 << 10))
+	}
+	ab, ba := *a, *b // Hist is a value type: plain copies
+	ab.Merge(b)
+	ba.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatal("a.Merge(b) != b.Merge(a)")
+	}
+	if ab.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged Count = %d, want %d", ab.Count(), a.Count()+b.Count())
+	}
+	if ab.Sum() != a.Sum()+b.Sum() {
+		t.Fatalf("merged Sum = %d, want %d", ab.Sum(), a.Sum()+b.Sum())
+	}
+	// Merging must preserve quantiles of the union exactly (same buckets).
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		union := NewHist()
+		union.Merge(a)
+		union.Merge(b)
+		if ab.Quantile(q) != union.Quantile(q) {
+			t.Errorf("Quantile(%v) differs between merge orders", q)
+		}
+	}
+}
+
+func TestHistObserveDoesNotAllocate(t *testing.T) {
+	h := NewHist()
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(12345)
+	}); allocs != 0 {
+		t.Fatalf("Observe allocated %v times per run", allocs)
+	}
+}

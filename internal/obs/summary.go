@@ -1,0 +1,76 @@
+package obs
+
+// Summary is the JSON-facing quantile digest of one run's recorder:
+// per-op latency quantiles, max pause, and one row per non-empty stage.
+// It flows through ScenarioResult so every builtin × scheme cell
+// reports tail latency next to throughput.  Field order (and the
+// stage-slice order) is deterministic: declaration order, no maps.
+type Summary struct {
+	// Op is the per-operation latency digest (virtual cycles per
+	// workload op).
+	Op Quantiles `json:"op"`
+	// MaxPauseCycles is the longest any thread spent blocked in a scan
+	// handler, at the handshake barrier, or in a grace wait.
+	MaxPauseCycles int64 `json:"max_pause_cycles"`
+	// Stages holds one row per stage that recorded at least one
+	// observation, in Stage declaration order.
+	Stages []StageLatency `json:"stages,omitempty"`
+}
+
+// Quantiles is one histogram's digest.  Quantile fields are
+// upper-bound estimates (≤6.25% relative error, exact below 32
+// cycles); Max is the exact observed maximum.
+type Quantiles struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+	Max   int64 `json:"max"`
+}
+
+// StageLatency is one stage's digest plus its total cycle attribution.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	Quantiles
+	TotalCycles int64 `json:"total_cycles"`
+}
+
+// quantilesOf digests h, substituting the exact max for the bucketized
+// one.
+func quantilesOf(h *Hist, exactMax int64) Quantiles {
+	return Quantiles{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   exactMax,
+	}
+}
+
+// Summary digests the recorder.  A nil or disabled recorder yields an
+// all-zero summary (never nil), keeping JSON output shape-stable.
+func (r *Recorder) Summary() *Summary {
+	s := &Summary{}
+	if r == nil || !r.enabled {
+		return s
+	}
+	s.Op = quantilesOf(r.StageHist(StageOp), r.StageMax(StageOp))
+	s.MaxPauseCycles = r.MaxPause()
+	for _, st := range Stages() {
+		if st == StageOp {
+			continue
+		}
+		h := r.StageHist(st)
+		if h.Count() == 0 {
+			continue
+		}
+		s.Stages = append(s.Stages, StageLatency{
+			Stage:       st.String(),
+			Quantiles:   quantilesOf(h, r.StageMax(st)),
+			TotalCycles: r.StageTotal(st),
+		})
+	}
+	return s
+}

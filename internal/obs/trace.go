@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Chrome trace-event export: the JSON-object format chrome://tracing
+// and Perfetto open directly.  Each TraceRun becomes one "process"
+// (grid cell), each simulated thread one named row, lifecycle spans
+// become complete ("X") events, and instants become point ("i")
+// events.  Virtual cycles map to microseconds at the default 1 GHz
+// clock (1 cycle = 1 ns, trace ts/dur are µs), so the timeline reads
+// in real units.
+
+// Window is one labeled span for a run's synthetic "phases" row
+// (typically the workload's phase schedule).
+type Window struct {
+	Name       string
+	Start, End int64 // virtual cycles
+}
+
+// TraceRun is one simulation run to export: its label (shown as the
+// process name), its recorder, and optional phase windows.
+type TraceRun struct {
+	Label   string
+	Rec     *Recorder
+	Windows []Window
+}
+
+// traceEvent is one Chrome trace-event row.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// phasesTid is the tid of the synthetic phase row, above any plausible
+// thread id.
+const phasesTid = 1_000_000
+
+func usec(cycles int64) float64 { return float64(cycles) / 1000.0 }
+
+// WriteChromeTrace writes runs as one Chrome trace-event JSON object.
+// Output is deterministic: runs in order, threads by id, spans and
+// instants in recording order.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
+	var events []traceEvent
+	for i, run := range runs {
+		pid := i + 1
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": run.Label},
+		})
+		if len(run.Windows) > 0 {
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: phasesTid,
+				Args: map[string]any{"name": "phases"},
+			})
+			for _, win := range run.Windows {
+				events = append(events, traceEvent{
+					Name: win.Name, Cat: "phase", Ph: "X",
+					Ts: usec(win.Start), Dur: usec(win.End - win.Start),
+					Pid: pid, Tid: phasesTid,
+				})
+			}
+		}
+		if run.Rec == nil || !run.Rec.enabled {
+			continue
+		}
+		for _, tr := range run.Rec.threads {
+			if tr == nil || (len(tr.spans) == 0 && len(tr.instants) == 0) {
+				continue
+			}
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tr.id,
+				Args: map[string]any{"name": fmt.Sprintf("%s (t%d)", tr.name, tr.id)},
+			})
+			for _, sp := range tr.spans {
+				events = append(events, traceEvent{
+					Name: sp.Stage.String(), Cat: "stage", Ph: "X",
+					Ts: usec(sp.Start), Dur: usec(sp.Dur),
+					Pid: pid, Tid: tr.id,
+				})
+			}
+			for _, in := range tr.instants {
+				events = append(events, traceEvent{
+					Name: in.Kind.String(), Cat: "event", Ph: "i",
+					Ts: usec(in.At), Pid: pid, Tid: tr.id, S: "t",
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ns"})
+}
+
+// WriteProfile writes the per-stage cycle-attribution table for one
+// run: where the virtual cycles went, per stage, with count, total,
+// share of op cycles, and tail quantiles.
+func WriteProfile(w io.Writer, label string, r *Recorder) error {
+	fmt.Fprintf(w, "profile: %s\n", label)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tcount\tcycles\t% of op\tp50\tp99\tmax")
+	opTotal := r.StageTotal(StageOp)
+	for _, st := range Stages() {
+		h := r.StageHist(st)
+		if h.Count() == 0 {
+			continue
+		}
+		pct := "-"
+		if st != StageOp && opTotal > 0 {
+			pct = fmt.Sprintf("%.2f%%", 100*float64(h.Sum())/float64(opTotal))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%d\t%d\n",
+			st, h.Count(), h.Sum(), pct,
+			h.Quantile(0.50), h.Quantile(0.99), r.StageMax(st))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if r.Enabled() {
+		fmt.Fprintf(w, "max pause: %d cycles\n", r.MaxPause())
+		for _, k := range []Kind{KindTrigger, KindWatermark, KindSignal, KindSteal, KindRemoteFlush} {
+			if n := r.InstantCount(k); n > 0 {
+				fmt.Fprintf(w, "%s events: %d\n", k, n)
+			}
+		}
+		if r.remoteLineFills > 0 {
+			fmt.Fprintf(w, "remote line fills: %d\n", r.remoteLineFills)
+		}
+		if r.allocRemoteFills > 0 {
+			fmt.Fprintf(w, "alloc remote fills: %d\n", r.allocRemoteFills)
+		}
+		if r.remoteFlushBatches > 0 {
+			fmt.Fprintf(w, "remote-free flushes: %d batches, %d blocks\n",
+				r.remoteFlushBatches, r.remoteFlushBlocks)
+		}
+		if r.inboxDrains > 0 {
+			fmt.Fprintf(w, "remote-inbox drains: %d, %d blocks\n",
+				r.inboxDrains, r.inboxBlocks)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package reclaim
 
-import "threadscan/internal/simt"
+import (
+	"threadscan/internal/obs"
+	"threadscan/internal/simt"
+)
 
 // Epoch implements epoch-based (quiescence) reclamation in the style of
 // Harris [20] and RCU [36], instrumented exactly as the paper describes
@@ -50,6 +53,10 @@ type EpochConfig struct {
 
 	// DelayVictim is the thread ID of the errant thread.  Default 0.
 	DelayVictim int
+
+	// Obs, when non-nil, records retire latency, reclaim-pass spans,
+	// and grace-period waits.  Never charges virtual cycles.
+	Obs *obs.Recorder
 }
 
 func (c *EpochConfig) fill() {
@@ -143,9 +150,11 @@ func (e *Epoch) Protect(*simt.Thread, int, int) bool { return false }
 // reclaimer waiting inside an operation could deadlock with another).
 func (e *Epoch) Retire(t *simt.Thread, addr uint64) {
 	id := t.ID()
+	start := t.Now()
 	t.Charge(e.sim.Config().Costs.Store)
 	e.stats.Retired++
 	e.retired[id] = append(e.retired[id], addr&^7)
+	e.cfg.Obs.Observe(t, obs.StageRetire, t.Now()-start)
 }
 
 // reclaim waits out one grace period and frees the batch.  Must be
@@ -154,6 +163,8 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 	c := e.sim.Config().Costs
 	id := t.ID()
 	e.stats.ReclaimPasses++
+	e.cfg.Obs.Begin(t, obs.StageCollect)
+	defer e.cfg.Obs.End(t)
 
 	// Only nodes retired (and orphans deposited) before the snapshot
 	// are covered by this grace period.  Steal our own retire list and
@@ -174,6 +185,7 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 		snap[i] = e.counters[i]
 	}
 	waitStart := t.Cycles()
+	waitFrom := t.Now()
 	waited := false
 	for i := range snap {
 		if i == id || !e.live[i] || snap[i]%2 == 0 {
@@ -187,6 +199,7 @@ func (e *Epoch) reclaim(t *simt.Thread) {
 	if waited {
 		e.stats.GraceWaits++
 		e.stats.GraceWaitCycles += t.Cycles() - waitStart
+		e.cfg.Obs.Window(t, obs.StageGraceWait, waitFrom, t.Now()-waitFrom)
 	}
 
 	// Everything retired before the snapshot is now unreachable by
@@ -234,5 +247,6 @@ func (e *Epoch) pending() uint64 {
 func (e *Epoch) Stats() Stats {
 	s := e.stats
 	s.Pending = e.pending()
+	s.MaxPauseCycles = e.cfg.Obs.MaxPause()
 	return s
 }

@@ -3,6 +3,7 @@ package reclaim
 import (
 	"sort"
 
+	"threadscan/internal/obs"
 	"threadscan/internal/simt"
 )
 
@@ -38,6 +39,10 @@ type HazardConfig struct {
 	// Batch is the retire-list length that triggers a scan.  Defaults
 	// to 1024, matching the other schemes' reclamation granularity.
 	Batch int
+
+	// Obs, when non-nil, records retire latency and scan-pass spans.
+	// Never charges virtual cycles.
+	Obs *obs.Recorder
 }
 
 func (c *HazardConfig) fill() {
@@ -112,8 +117,11 @@ func (h *Hazard) Protect(t *simt.Thread, slot int, reg int) bool {
 }
 
 // Retire implements Scheme: buffer the node; scan when the batch fills.
+// Like ThreadScan's Retire, the histogram includes any scan the call
+// triggered — the retire that fills the batch pays for the pass.
 func (h *Hazard) Retire(t *simt.Thread, addr uint64) {
 	addr &^= 7
+	start := t.Now()
 	c := h.sim.Config().Costs
 	t.Charge(c.Store)
 	h.stats.Retired++
@@ -122,6 +130,7 @@ func (h *Hazard) Retire(t *simt.Thread, addr uint64) {
 	if len(h.retired[id])+len(h.orphans) >= h.cfg.Batch {
 		h.scan(t)
 	}
+	h.cfg.Obs.Observe(t, obs.StageRetire, t.Now()-start)
 }
 
 // scan is Michael's Scan: snapshot all hazard slots, free every retired
@@ -130,6 +139,8 @@ func (h *Hazard) scan(t *simt.Thread) {
 	c := h.sim.Config().Costs
 	h.stats.ReclaimPasses++
 	id := t.ID()
+	h.cfg.Obs.Begin(t, obs.StageCollect)
+	defer h.cfg.Obs.End(t)
 
 	// Snapshot every thread's hazard slots, including our own: Retire
 	// can run mid-traversal, and our own published pointers must pin
@@ -191,7 +202,8 @@ func (h *Hazard) pending() uint64 {
 	return n
 }
 
-// Stats implements Scheme.
+// Stats implements Scheme.  MaxPauseCycles stays zero even with a
+// recorder attached: hazard scans never block on other threads.
 func (h *Hazard) Stats() Stats {
 	s := h.stats
 	s.Pending = h.pending()

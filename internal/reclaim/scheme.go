@@ -96,6 +96,12 @@ type Stats struct {
 	GraceWaitCycles int64  // virtual cycles spent in those waits
 	Protects        uint64 // Protect calls (hazard/publish traffic)
 
+	// MaxPauseCycles is the longest any thread spent blocked in a scan
+	// handler, at the scan-barrier handshake, or in a grace-period wait.
+	// Populated only when the scheme was built with an obs.Recorder
+	// (zero otherwise, and always zero for Leaky — it never blocks).
+	MaxPauseCycles int64
+
 	// Sharded-collect pipeline counters (ThreadScan; zero elsewhere).
 	Shards        int    // configured shard count K
 	ShardsSorted  uint64 // shard sort/build passes across all collects

@@ -3,6 +3,7 @@ package reclaim
 import (
 	"sort"
 
+	"threadscan/internal/obs"
 	"threadscan/internal/simt"
 )
 
@@ -51,6 +52,10 @@ type StackTrackConfig struct {
 	// Batch is the retire count that triggers reclamation.  Defaults
 	// to 1024.
 	Batch int
+
+	// Obs, when non-nil, records retire latency, reclaim-pass spans,
+	// and publication waits.  Never charges virtual cycles.
+	Obs *obs.Recorder
 }
 
 func (c *StackTrackConfig) fill() {
@@ -145,9 +150,11 @@ func (st *StackTrack) Protect(t *simt.Thread, _ int, _ int) bool {
 // Retire implements Scheme.
 func (st *StackTrack) Retire(t *simt.Thread, addr uint64) {
 	id := t.ID()
+	start := t.Now()
 	t.Charge(st.sim.Config().Costs.Store)
 	st.stats.Retired++
 	st.retired[id] = append(st.retired[id], addr&^7)
+	st.cfg.Obs.Observe(t, obs.StageRetire, t.Now()-start)
 }
 
 // reclaim scans shadows and frees unreferenced retirees.  Called at a
@@ -157,6 +164,8 @@ func (st *StackTrack) reclaim(t *simt.Thread) {
 	c := st.sim.Config().Costs
 	id := t.ID()
 	st.stats.ReclaimPasses++
+	st.cfg.Obs.Begin(t, obs.StageCollect)
+	defer st.cfg.Obs.End(t)
 
 	// Steal the orphan list atomically (no safepoint intervenes) so
 	// concurrent reclaimers cannot both free it.
@@ -179,6 +188,7 @@ func (st *StackTrack) reclaim(t *simt.Thread) {
 		snap[i] = st.segCount[i]
 	}
 	waitStart := t.Cycles()
+	waitFrom := t.Now()
 	waited := false
 	for i := range snap {
 		if i == id || !st.live[i] {
@@ -195,6 +205,7 @@ func (st *StackTrack) reclaim(t *simt.Thread) {
 	if waited {
 		st.stats.GraceWaits++
 		st.stats.GraceWaitCycles += t.Cycles() - waitStart
+		st.cfg.Obs.Window(t, obs.StageGraceWait, waitFrom, t.Now()-waitFrom)
 	}
 	// Scan our own live roots directly (we have no fresher shadow).
 	t.ScanRoots(func(w uint64) { st.mark(t, w, candidates, marks) })
@@ -248,5 +259,6 @@ func (st *StackTrack) pending() uint64 {
 func (st *StackTrack) Stats() Stats {
 	s := st.stats
 	s.Pending = st.pending()
+	s.MaxPauseCycles = st.cfg.Obs.MaxPause()
 	return s
 }

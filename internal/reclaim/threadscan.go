@@ -2,6 +2,7 @@ package reclaim
 
 import (
 	"threadscan/internal/core"
+	"threadscan/internal/obs"
 	"threadscan/internal/simt"
 )
 
@@ -13,12 +14,13 @@ import (
 type ThreadScan struct {
 	ts    *core.ThreadScan
 	sim   *simt.Sim
+	obs   *obs.Recorder // == cfg.Obs; nil-safe on every call
 	stats Stats
 }
 
 // NewThreadScan creates a ThreadScan domain bound to sim.
 func NewThreadScan(sim *simt.Sim, cfg core.Config) *ThreadScan {
-	return &ThreadScan{ts: core.New(sim, cfg), sim: sim}
+	return &ThreadScan{ts: core.New(sim, cfg), sim: sim, obs: cfg.Obs}
 }
 
 // Core exposes the underlying protocol instance (stats, heap-block
@@ -40,9 +42,14 @@ func (s *ThreadScan) EndOp(*simt.Thread) {}
 // Protect implements Scheme (no-op; scans find references themselves).
 func (s *ThreadScan) Protect(*simt.Thread, int, int) bool { return false }
 
-// Retire implements Scheme via the paper's free().
+// Retire implements Scheme via the paper's free().  The retire
+// histogram deliberately includes any collect the call triggered —
+// ThreadScan's latency story is precisely that one retire in a batch
+// pays for the whole phase.
 func (s *ThreadScan) Retire(t *simt.Thread, addr uint64) {
+	start := t.Now()
 	s.ts.Free(t, addr)
+	s.obs.Observe(t, obs.StageRetire, t.Now()-start)
 }
 
 // Flush implements Scheme.
@@ -59,6 +66,7 @@ func (s *ThreadScan) Stats() Stats {
 	hs := s.sim.Heap().Stats()
 	return Stats{
 		Retired:           c.Frees,
+		MaxPauseCycles:    s.obs.MaxPause(),
 		Freed:             c.Reclaimed + c.HelpFreed + c.DoubleRetires,
 		Pending:           uint64(s.ts.Buffered()),
 		ReclaimPasses:     c.Collects,

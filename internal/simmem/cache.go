@@ -126,6 +126,9 @@ func (c *Cache) Free(addr uint64) (flushed bool) {
 func (c *Cache) flushStage(home int) {
 	p := &c.heap.pools[home]
 	p.remote = append(p.remote, c.stage[home]...)
+	if c.heap.observer != nil {
+		c.heap.observer.RemoteFlush(home, len(c.stage[home]))
+	}
 	c.stage[home] = c.stage[home][:0]
 }
 

@@ -1,0 +1,19 @@
+package simmem
+
+// Observer receives notifications of the heap's batched cross-node
+// traffic: cache staging flushing a free batch to a remote inbox, and a
+// pool draining its inbox back onto its central lists.  It exists so an
+// observability layer can watch allocator batch behavior without simmem
+// importing it.  Callbacks carry no timestamps — simmem has no clock —
+// and must not mutate heap state.
+type Observer interface {
+	// RemoteFlush fires when a thread cache flushes a staged batch of
+	// blocks cross-node into home's remote-free inbox.
+	RemoteFlush(home, blocks int)
+	// InboxDrain fires when node's pool reclassifies blocks from its
+	// remote-free inbox into its central lists.
+	InboxDrain(node, blocks int)
+}
+
+// SetObserver attaches o (nil detaches).
+func (h *Heap) SetObserver(o Observer) { h.observer = o }

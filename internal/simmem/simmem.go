@@ -131,6 +131,7 @@ type Heap struct {
 	allocSeq uint32
 	rr       int // PolicyInterleave rotor
 	stats    Stats
+	observer Observer // batch-traffic hooks; nil when detached
 }
 
 // pool is one node's share of the arena: a contiguous page region with
@@ -466,6 +467,9 @@ func (h *Heap) drainRemote(p *pool) {
 		p.central[cls].blocks = append(p.central[cls].blocks, addr)
 	}
 	h.stats.RemoteDrained += uint64(len(p.remote))
+	if h.observer != nil {
+		h.observer.InboxDrain(p.node, len(p.remote))
+	}
 	p.remote = p.remote[:0]
 }
 

@@ -42,6 +42,8 @@ type Sim struct {
 	startHooks []func(*Thread)
 	exitHooks  []func(*Thread)
 
+	probe Probe // observability hooks; nil when detached
+
 	clock int64 // high-water mark of virtual time
 
 	stats SimStats

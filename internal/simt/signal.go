@@ -28,6 +28,9 @@ func (t *Thread) Signal(target *Thread, sig SigNum) bool {
 		return false
 	}
 	s.stats.SignalsSent++
+	if p := s.probe; p != nil {
+		p.SignalSent(t, target)
+	}
 	target.sigPending |= 1 << uint(sig)
 	if target == t {
 		// Self-signal: handled at the sender's next safepoint.

@@ -320,6 +320,9 @@ func (t *Thread) memCost(base int64, addr uint64) int64 {
 		node := t.Node()
 		if t.sim.homeOf(addr, node) != node {
 			t.sim.stats.RemoteLineFills++
+			if p := t.sim.probe; p != nil {
+				p.RemoteLineFill(t)
+			}
 			base += t.sim.cfg.Costs.RemoteFill
 			// The fill migrates ownership to the accessor's socket
 			// (see topology.go): subsequent accesses from this node
@@ -408,18 +411,24 @@ func (t *Thread) Fence() {
 // Costs.RemoteFill for the cross-socket pull.  The global-policy cost
 // model is left untouched so its captured baselines stay bit-identical.
 func (t *Thread) Alloc(dst int, size int) {
+	start := t.now
+	remote := false
 	t.charge(t.sim.cfg.Costs.Alloc + int64(size/simmem.WordSize))
 	t.safepoint()
 	addr := t.cache.Alloc(size)
 	if t.sim.topo.nodes > 1 {
 		if t.sim.heap.Pools() > 1 && t.sim.heap.ResidentNode(addr) != t.cache.Node() {
 			t.sim.stats.AllocRemoteFills++
+			remote = true
 			t.charge(t.sim.cfg.Costs.RemoteFill)
 		}
 		t.sim.setHome(addr, size, t.Node())
 	}
 	t.checkReg(dst)
 	t.regs[dst] = addr
+	if p := t.sim.probe; p != nil {
+		p.Alloc(t, t.now-start, remote)
+	}
 }
 
 // FreeAddr returns the block at addr to the heap.  This is the
@@ -430,10 +439,15 @@ func (t *Thread) Alloc(dst int, size int) {
 // pool's remote-free inbox a batch at a time, charging Costs.RemoteFill
 // once per flushed batch (TCMalloc's transfer-cache amortization).
 func (t *Thread) FreeAddr(addr uint64) {
+	start := t.now
 	t.charge(t.sim.cfg.Costs.Free)
 	t.safepoint()
-	if t.cache.Free(addr) {
+	flushed := t.cache.Free(addr)
+	if flushed {
 		t.charge(t.sim.cfg.Costs.RemoteFill)
+	}
+	if p := t.sim.probe; p != nil {
+		p.Free(t, t.now-start, flushed)
 	}
 }
 

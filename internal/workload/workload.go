@@ -224,6 +224,27 @@ func (s *Scenario) TotalDuration() int64 {
 	return d
 }
 
+// PhaseWindow is one phase's absolute virtual-time window relative to
+// the measured start: [Start, End).
+type PhaseWindow struct {
+	Name  string
+	Start int64
+	End   int64
+}
+
+// PhaseWindows lays the phases out on the virtual clock (offsets from
+// the measured start).  Trace exporters use it to draw phase bands
+// under the per-thread span rows.  Valid after Fill.
+func (s *Scenario) PhaseWindows() []PhaseWindow {
+	ws := make([]PhaseWindow, len(s.Phases))
+	var at int64
+	for i, p := range s.Phases {
+		ws[i] = PhaseWindow{Name: p.Name, Start: at, End: at + p.Duration}
+		at += p.Duration
+	}
+	return ws
+}
+
 // Fill applies defaults in place and validates the scenario.
 func (s *Scenario) Fill() error {
 	if s.Name == "" {

@@ -41,9 +41,12 @@
 package threadscan
 
 import (
+	"io"
+
 	"threadscan/internal/core"
 	"threadscan/internal/ds"
 	"threadscan/internal/harness"
+	"threadscan/internal/obs"
 	"threadscan/internal/reclaim"
 	"threadscan/internal/simmem"
 	"threadscan/internal/simt"
@@ -286,4 +289,50 @@ func RunScenario(s Scenario) (ScenarioResult, error) { return harness.RunScenari
 // constructors to the scenario engine's op surface.
 func WorkloadTargetFor(structure any) (WorkloadTarget, error) {
 	return workload.TargetFor(structure)
+}
+
+// Observability (internal/obs): virtual-time lifecycle spans, HDR-style
+// latency histograms, and Chrome-trace export.  Recording is keyed on
+// the simulator's virtual clock and never charges virtual cycles, so an
+// instrumented run's results are bit-identical to an uninstrumented
+// one's.
+type (
+	// Recorder collects per-thread spans and latency histograms for one
+	// run.  A nil or zero-value Recorder is disabled and allocates
+	// nothing on the hot path.
+	Recorder = obs.Recorder
+	// LatencySummary is a run's quantile report: per-op latency,
+	// max-pause, and per-stage breakdowns (ScenarioResult.Latency).
+	LatencySummary = obs.Summary
+	// LatencyQuantiles is one histogram's p50/p95/p99/p999/max readout.
+	LatencyQuantiles = obs.Quantiles
+	// TraceRun pairs a recorder with a label and phase windows for
+	// Chrome-trace export.
+	TraceRun = obs.TraceRun
+	// TraceWindow is one labeled band on the trace's phase row.
+	TraceWindow = obs.Window
+)
+
+// NewRecorder returns an enabled histogram-only recorder (quantiles and
+// max-pause, no span storage) — what RunScenario attaches by default.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewTraceRecorder returns a recorder that additionally stores every
+// lifecycle span and instant for Chrome-trace export.
+func NewTraceRecorder() *Recorder { return obs.NewTraceRecorder() }
+
+// RunScenarioRecorded executes one scenario with rec attached to the
+// simulator, allocator, and scheme.  Pass nil to disable observability
+// entirely; every result field except Latency is identical either way.
+func RunScenarioRecorded(s Scenario, rec *Recorder) (ScenarioResult, error) {
+	return harness.RunScenarioRecorded(s, rec)
+}
+
+// WriteChromeTrace writes the runs as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error { return obs.WriteChromeTrace(w, runs) }
+
+// WriteProfile writes a per-stage cycle-attribution table for one run.
+func WriteProfile(w io.Writer, label string, rec *Recorder) error {
+	return obs.WriteProfile(w, label, rec)
 }
