@@ -1,0 +1,143 @@
+// Command tslint runs the project's analyzer suite (internal/lint):
+// five static checks that make the simulator's conventions —
+// deterministic replay, zero-cost observability, tagged ring-entry
+// hygiene, atomic-access consistency, no use-after-retire —
+// mechanically enforceable.
+//
+// Standalone mode (the CI entry point):
+//
+//	tslint ./...            # lint packages, findings to stdout, exit 1 if any
+//	tslint -json ./...      # findings as a JSON array
+//
+// Vettool mode: the binary also speaks the go vet driver protocol, so
+// the same checks run under the standard toolchain:
+//
+//	go vet -vettool=$(which tslint) ./...
+//
+// In that mode go vet invokes the binary once per package with a JSON
+// config file argument (*.cfg) carrying file lists and export-data
+// paths; diagnostics go to stderr and a non-zero exit marks the
+// package as failed, exactly like the built-in vet analyzers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/loader"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tslint: ")
+
+	// The go vet driver protocol: version probe, flag discovery, then
+	// one invocation per package with a trailing *.cfg argument.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-V=full":
+			fmt.Printf("%s version tslint-1.0\n", filepath.Base(os.Args[0]))
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if n := len(os.Args); n > 1 && strings.HasSuffix(os.Args[n-1], ".cfg") {
+		os.Exit(vetUnit(os.Args[n-1]))
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Parse()
+
+	findings, err := lint.Check(".", lint.DefaultConfig(), flag.Args()...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the subset of the go vet per-package config file the
+// driver reads.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the go vet protocol and returns
+// the process exit code.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("parsing %s: %v", cfgFile, err)
+		return 1
+	}
+	// go vet caches per-package facts ("vetx") and requires the output
+	// file to exist even though this suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only for facts
+	}
+	fset := token.NewFileSet()
+	imp := loader.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := loader.CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+	findings, err := lint.RunPackage(pkg, lint.Suite(lint.DefaultConfig()))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	findings = lint.ApplyIgnores(pkg, findings)
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threadscan/internal/lint"
+)
+
+// buildTslint compiles the tslint binary once per test binary run.
+func buildTslint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tslint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tslint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module named threadscan — the name
+// matters, because DefaultConfig polices threadscan/internal/... import
+// paths — with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module threadscan\n\ngo 1.24\n"
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const violatingCore = `package core
+
+import "time"
+
+// Stamp consults the wall clock from a simulated package.
+func Stamp() time.Time { return time.Now() }
+`
+
+const cleanCore = `package core
+
+// Tick is deterministic.
+func Tick(t uint64) uint64 { return t + 1 }
+`
+
+func TestStandaloneFindsSeededViolation(t *testing.T) {
+	bin := buildTslint(t)
+	dir := writeModule(t, map[string]string{"internal/core/core.go": violatingCore})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "time.Now") || !strings.Contains(string(out), "simdeterminism") {
+		t.Errorf("output does not name the violation and analyzer:\n%s", out)
+	}
+}
+
+func TestStandaloneCleanModule(t *testing.T) {
+	bin := buildTslint(t)
+	dir := writeModule(t, map[string]string{"internal/core/core.go": cleanCore})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("want exit 0 on a clean module, got %v\n%s", err, out)
+	}
+}
+
+func TestStandaloneJSONOutput(t *testing.T) {
+	bin := buildTslint(t)
+	dir := writeModule(t, map[string]string{"internal/core/core.go": violatingCore})
+
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v", err)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "simdeterminism" {
+		t.Errorf("findings = %+v, want one simdeterminism finding", findings)
+	}
+}
+
+// TestGoVetVettool runs the binary under the standard toolchain driver:
+// go vet -vettool. This is the compatibility contract documented in the
+// README — the same diagnostics, through the stock vet UX.
+func TestGoVetVettool(t *testing.T) {
+	bin := buildTslint(t)
+	dir := writeModule(t, map[string]string{"internal/core/core.go": violatingCore})
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet should fail on the seeded violation\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now") {
+		t.Errorf("go vet output does not carry the diagnostic:\n%s", out)
+	}
+
+	// And a clean module passes under the same driver — including a
+	// test file whose inline tag masking would be a tagptr violation in
+	// production source (go vet feeds test variants; tests are exempt).
+	clean := writeModule(t, map[string]string{
+		"internal/core/core.go": cleanCore,
+		"internal/core/core_test.go": `package core
+
+import "testing"
+
+func TestMask(t *testing.T) {
+	if v := uint64(16) &^ 7; v != 16 {
+		t.Fatal(v)
+	}
+}
+`,
+	})
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = clean
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet on a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocolProbes checks the two driver handshake calls go
+// vet makes before any package work.
+func TestVettoolProtocolProbes(t *testing.T) {
+	bin := buildTslint(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "tslint version") {
+		t.Errorf("-V=full output %q does not identify the tool", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("-flags output %q, want []", out)
+	}
+}
+
+// TestSuppressionUnderDriver checks that //tslint:ignore works through
+// the standalone driver end to end.
+func TestSuppressionUnderDriver(t *testing.T) {
+	bin := buildTslint(t)
+	dir := writeModule(t, map[string]string{"internal/core/core.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	//tslint:ignore simdeterminism exercising the suppression path
+	return time.Now()
+}
+`})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("suppressed violation should exit 0, got %v\n%s", err, out)
+	}
+}

@@ -1208,6 +1208,7 @@ func (ts *ThreadScan) scanThread(t *simt.Thread) {
 func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
 	c := ts.costs()
 	t.Charge(2 * c.Step) // mask + range check
+	//tslint:ignore tagptr scanned-word pointer masking per paper §4.2, not a ring-entry tag
 	p := w &^ 7
 	if p == 0 || !ts.sim.Heap().Contains(p) {
 		return

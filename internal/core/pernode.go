@@ -52,7 +52,7 @@ const MaxRoutedNodes = 8
 // collect triggers.  Caller has already charged the buffer store and
 // counted the free.
 func (ts *ThreadScan) freeRouted(t *simt.Thread, tt *tsThread, addr uint64) {
-	tag := addr | uint64(t.Node())
+	tag := tagEntry(addr, t.Node())
 	if tt.ring.Push(tag) {
 		return
 	}
@@ -72,8 +72,8 @@ func (ts *ThreadScan) routeRing(t *simt.Thread, tt *tsThread) int {
 	var n int
 	ts.scratch, n = tt.ring.Drain(ts.scratch[:0])
 	for _, v := range ts.scratch {
-		node := int(v & 7)
-		ts.nodeBuf[node] = append(ts.nodeBuf[node], v&^7)
+		node := entryNode(v)
+		ts.nodeBuf[node] = append(ts.nodeBuf[node], entryAddr(v))
 	}
 	c := ts.costs()
 	t.Charge(int64(n) * (c.Load + c.Store))

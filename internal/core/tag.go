@@ -1,0 +1,29 @@
+package core
+
+// Node-tagged ring entries.
+//
+// Per-node retirement routing (pernode.go) rides the retiring thread's
+// NUMA node in the low three bits of a word-aligned address, so a ring
+// entry is NOT an address until it has been masked.  The tag layout —
+// which bits, how many nodes — lives in this file and nowhere else;
+// the tagptr analyzer (internal/lint) rejects inline re-masking and
+// any use of an unmasked entry as an address.
+
+// entryTagMask covers the low bits that carry the node tag; word
+// alignment guarantees real addresses have them clear.
+const entryTagMask = MaxRoutedNodes - 1
+
+// tagEntry packs an address and its retiring node into one ring entry.
+func tagEntry(addr uint64, node int) uint64 {
+	return addr | uint64(node)
+}
+
+// entryAddr recovers the address from a tagged ring entry.
+func entryAddr(v uint64) uint64 {
+	return v &^ entryTagMask
+}
+
+// entryNode recovers the retiring node from a tagged ring entry.
+func entryNode(v uint64) int {
+	return int(v & entryTagMask)
+}

@@ -331,13 +331,13 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 
-	wallStart := time.Now()
+	wallStart := wallNow()
 	if err := sim.Run(); err != nil {
 		return Result{}, fmt.Errorf("harness: %s/%s t=%d: %w", cfg.DS, cfg.Scheme, cfg.Threads, err)
 	}
 	res := Result{
 		Config:   cfg,
-		WallTime: time.Since(wallStart),
+		WallTime: wallSince(wallStart),
 		Scheme:   sc.Stats(),
 		Sim:      sim.Stats(),
 		Heap:     sim.Heap().Stats(),

@@ -508,7 +508,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		r.spawningDone = true
 	}
 
-	wallStart := time.Now()
+	wallStart := wallNow()
 	if err := sim.Run(); err != nil {
 		return ScenarioResult{}, fmt.Errorf("scenario %s (%s/%s): %w",
 			spec.Name, spec.DS, spec.Scheme, err)
@@ -533,7 +533,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		Sim:                 sim.Stats(),
 		Heap:                sim.Heap().Stats(),
 		FinalSize:           target.Size(),
-		WallTime:            time.Since(wallStart),
+		WallTime:            wallSince(wallStart),
 	}
 	if tsCore != nil {
 		st := tsCore.Stats()

@@ -1,0 +1,65 @@
+// Package analysis is a minimal, API-compatible mirror of
+// golang.org/x/tools/go/analysis, carrying exactly the subset the
+// tslint suite needs: an Analyzer is a named check with a Run function,
+// a Pass hands it one type-checked package, and diagnostics are
+// reported through the Pass.
+//
+// The build environment for this repository is hermetic (no module
+// proxy), so the real x/tools module cannot be a dependency; this
+// mirror keeps the five tslint analyzers source-compatible with it.
+// Porting an analyzer onto upstream x/tools is a one-line import swap —
+// nothing here diverges from the upstream field names or semantics.
+// Features the suite does not use (Requires/ResultOf dependencies,
+// facts, suggested fixes) are intentionally absent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tslint:ignore directives.  By convention it is a single
+	// lower-case word.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by paragraphs of detail.
+	Doc string
+
+	// Run applies the analyzer to one package.  It reports diagnostics
+	// via pass.Report / pass.Reportf.  The interface{} result mirrors
+	// upstream (inter-analyzer results); tslint analyzers return nil.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic.  The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}

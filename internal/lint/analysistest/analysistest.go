@@ -1,0 +1,194 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations embedded in the source as
+// // want comments — a minimal mirror of
+// golang.org/x/tools/go/analysis/analysistest (which the hermetic
+// build cannot depend on).
+//
+// Expectation syntax, at the end of the offending line:
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//	code() // want `raw regexp`
+//
+// Every diagnostic must match one expectation on its line and every
+// expectation must be matched by exactly one diagnostic; anything
+// unmatched on either side fails the test.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"threadscan/internal/lint/analysis"
+	"threadscan/internal/lint/loader"
+)
+
+// wantRe matches a // want comment; expectations are parsed from its
+// trailing quoted strings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and reports mismatches through t.  It returns the raw
+// diagnostics (all packages concatenated) for callers that want to
+// assert more.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	var all []analysis.Diagnostic
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := loader.LoadDir(dir, pkgName)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		diags := runOne(t, a, pkg)
+		all = append(all, diags...)
+	}
+	return all
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) []analysis.Diagnostic {
+	t.Helper()
+	expects := collectExpectations(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.Path, err)
+	}
+
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		if !claim(expects, posn.Filename, posn.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// regexp matches msg.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectExpectations parses // want comments out of the package.
+func collectExpectations(t *testing.T, pkg *loader.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, posn.String(), m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, raw, err)
+					}
+					out = append(out, &expectation{
+						file: posn.Filename, line: posn.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var (
+			raw string
+			err error
+		)
+		switch s[0] {
+		case '"':
+			end := matchEnd(s, '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", at, s)
+			}
+			raw, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", at, s[:end+1], err)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", at, s)
+			}
+			raw = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want expectations must be quoted, got: %s", at, s)
+		}
+		out = append(out, raw)
+	}
+	return out
+}
+
+// matchEnd finds the closing double quote, honoring backslash escapes.
+func matchEnd(s string, q byte) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case q:
+			return i
+		}
+	}
+	return -1
+}
+
+// MustContain is a helper for suite-level tests: it asserts that some
+// diagnostic message matches the pattern.
+func MustContain(t *testing.T, diags []analysis.Diagnostic, pattern string) {
+	t.Helper()
+	re := regexp.MustCompile(pattern)
+	for _, d := range diags {
+		if re.MatchString(d.Message) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic matching %q in %d diagnostics", pattern, len(diags))
+}

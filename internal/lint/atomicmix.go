@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threadscan/internal/lint/analysis"
+)
+
+// Atomicmix returns the analyzer that enforces all-or-nothing atomic
+// access: once any code accesses a struct field through a sync/atomic
+// function, every plain (non-atomic) read or write of that field
+// anywhere in the package is a data race waiting to happen and is
+// reported, together with the atomic site it conflicts with.
+//
+// Fields of the typed atomic wrappers (atomic.Int64, atomic.Pointer,
+// ...) cannot be accessed non-atomically and need no checking; this
+// analyzer covers the raw-field style (atomic.LoadUint64(&s.f)) where
+// the mixed-access mistake is syntactically easy.
+func Atomicmix(cfg *Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "atomicmix",
+		Doc: "report struct fields accessed both through sync/atomic and\n" +
+			"through plain reads/writes: mixed access is a data race",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			runAtomicmix(pass)
+			return nil, nil
+		},
+	}
+}
+
+func runAtomicmix(pass *analysis.Pass) {
+	info := pass.TypesInfo
+
+	// Pass 1: find every field whose address feeds a sync/atomic call,
+	// and remember the selector nodes that are part of those calls so
+	// pass 2 does not report the atomic accesses themselves.
+	atomicSite := map[*types.Var]token.Pos{}
+	atomicUse := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on a typed atomic: inherently safe
+			}
+			for _, arg := range call.Args {
+				v := addrTakenField(info, arg)
+				if v == nil {
+					continue
+				}
+				if _, seen := atomicSite[v]; !seen {
+					atomicSite[v] = call.Pos()
+				}
+				// Every selector inside this argument belongs to the
+				// atomic access.
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if sel, ok := m.(*ast.SelectorExpr); ok {
+						atomicUse[sel] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicSite) == 0 {
+		return
+	}
+
+	// Pass 2: report plain selector accesses of those fields.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUse[sel] {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if site, hit := atomicSite[v]; hit {
+				pass.Reportf(sel.Pos(),
+					"plain access of field %s, which is accessed atomically at %s: mixed atomic/plain access is a data race (use sync/atomic for every access, or //tslint:ignore a pre-publication initialization)",
+					v.Name(), pass.Fset.Position(site))
+			}
+			return true
+		})
+	}
+}
+
+// addrTakenField unwraps parens, conversions, and the address operator
+// around an atomic call argument and returns the struct field whose
+// address is taken, e.g. &s.f, (*uint64)(unsafe.Pointer(&s.f)).
+func addrTakenField(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if isConversion(info, x) && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/analysistest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	// Atomicmix needs no package/symbol configuration: it keys off
+	// sync/atomic usage wherever it appears.
+	analysistest.Run(t, "testdata", lint.Atomicmix(&lint.Config{}), "atomicmix")
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+
+	"threadscan/internal/lint/loader"
+)
+
+// The //tslint:ignore suppression facility.
+//
+// A directive comment
+//
+//	//tslint:ignore <analyzer> <reason...>
+//
+// silences exactly one diagnostic from the named analyzer on the line
+// directly below the directive's own line.  Suppression is a claim
+// that a human looked at the diagnostic and can argue it down, so the
+// facility polices itself:
+//
+//   - a bare directive (missing analyzer or missing reason) is itself
+//     a diagnostic — unjustified suppressions do not exist;
+//   - a stale directive (nothing to suppress on the next line) is a
+//     diagnostic too, so fixed code sheds its ignores instead of
+//     accumulating fossils.
+
+// ignorePrefix is matched against the raw comment text.
+const ignorePrefix = "//tslint:ignore"
+
+// directive is one parsed //tslint:ignore comment.
+type directive struct {
+	pos      token.Position // of the comment
+	analyzer string
+	reason   string
+}
+
+// parseDirectives extracts tslint:ignore directives from a package's
+// comments, in file order.
+func parseDirectives(pkg *loader.Package) []directive {
+	var out []directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				// Require an exact token boundary: reject
+				// "//tslint:ignoreXYZ".
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// ApplyIgnores filters fs through the package's //tslint:ignore
+// directives.  Each well-formed directive suppresses exactly one
+// finding from its analyzer on the next line; malformed and stale
+// directives are converted into findings of the pseudo-analyzer
+// "tslint".  The returned slice is the surviving findings plus
+// directive diagnostics.
+func ApplyIgnores(pkg *loader.Package, fs []Finding) []Finding {
+	dirs := parseDirectives(pkg)
+	if len(dirs) == 0 {
+		return fs
+	}
+	suppressed := make([]bool, len(fs))
+	var extra []Finding
+	for _, d := range dirs {
+		if d.analyzer == "" || d.reason == "" {
+			extra = append(extra, Finding{
+				Analyzer: "tslint",
+				Pos:      d.pos,
+				Message:  "malformed tslint:ignore: want `//tslint:ignore <analyzer> <reason>` — a suppression without a stated reason is not reviewable",
+			})
+			continue
+		}
+		matched := false
+		for i, f := range fs {
+			if suppressed[i] || f.Analyzer != d.analyzer {
+				continue
+			}
+			if f.Pos.Filename == d.pos.Filename && f.Pos.Line == d.pos.Line+1 {
+				suppressed[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			extra = append(extra, Finding{
+				Analyzer: "tslint",
+				Pos:      d.pos,
+				Message:  "stale tslint:ignore: no " + d.analyzer + " diagnostic on the next line — delete the directive",
+			})
+		}
+	}
+	var out []Finding
+	for i, f := range fs {
+		if !suppressed[i] {
+			out = append(out, f)
+		}
+	}
+	out = append(out, extra...)
+	SortFindings(out)
+	return out
+}

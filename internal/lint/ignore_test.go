@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/loader"
+)
+
+// loadIgnores runs the suite over the ignores testdata package and
+// returns (raw findings, findings after directive processing).
+func loadIgnores(t *testing.T) ([]lint.Finding, []lint.Finding) {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "ignores"), "ignores")
+	if err != nil {
+		t.Fatalf("loading ignores testdata: %v", err)
+	}
+	cfg := &lint.Config{SimPackages: []string{"ignores"}}
+	raw, err := lint.RunPackage(pkg, lint.Suite(cfg))
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	return raw, lint.ApplyIgnores(pkg, raw)
+}
+
+func countBy(fs []lint.Finding, analyzer, msgSubstring string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Analyzer == analyzer && strings.Contains(f.Message, msgSubstring) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIgnoreSuppressesExactlyOne(t *testing.T) {
+	raw, got := loadIgnores(t)
+
+	// Raw violations: suppressed(1) + bare(1) + twoOnOneLine(2) +
+	// wrongAnalyzer(1) = 5 simdeterminism findings.
+	if n := countBy(raw, "simdeterminism", ""); n != 5 {
+		t.Fatalf("raw simdeterminism findings = %d, want 5: %v", n, raw)
+	}
+
+	// After directives: the justified ignore removes suppressed()'s
+	// finding and exactly one of twoOnOneLine's two; bare() and
+	// wrongAnalyzer()'s violations survive.
+	if n := countBy(got, "simdeterminism", ""); n != 3 {
+		t.Errorf("surviving simdeterminism findings = %d, want 3: %v", n, got)
+	}
+	// The suppressed() violation (the only time.Now before bare()) must
+	// be gone: no surviving finding on its line.
+	lint.SortFindings(raw)
+	first := raw[0]
+	for _, f := range got {
+		if f.Analyzer == first.Analyzer && f.Pos.Line == first.Pos.Line {
+			t.Errorf("finding on line %d should have been suppressed: %v", first.Pos.Line, f)
+		}
+	}
+}
+
+func TestBareIgnoreRejected(t *testing.T) {
+	_, got := loadIgnores(t)
+	if n := countBy(got, "tslint", "malformed tslint:ignore"); n != 1 {
+		t.Errorf("malformed-directive findings = %d, want 1: %v", n, got)
+	}
+}
+
+func TestStaleIgnoreReported(t *testing.T) {
+	_, got := loadIgnores(t)
+	// Two stale directives: stale() (clean next line) and
+	// wrongAnalyzer() (no atomicmix diagnostic to suppress).
+	if n := countBy(got, "tslint", "stale tslint:ignore"); n != 2 {
+		t.Errorf("stale-directive findings = %d, want 2: %v", n, got)
+	}
+	if n := countBy(got, "tslint", "no atomicmix diagnostic"); n != 1 {
+		t.Errorf("stale finding for mismatched analyzer = %d, want 1: %v", n, got)
+	}
+}
+
+func TestNonDirectiveCommentIgnored(t *testing.T) {
+	raw, got := loadIgnores(t)
+	// //tslint:ignorance shares the prefix but is not a directive: it
+	// must produce neither a suppression nor a tslint finding, so the
+	// total is raw - 2 suppressed + 3 directive findings.
+	if want := len(raw) - 2 + 3; len(got) != want {
+		t.Errorf("total surviving findings = %d, want %d: %v", len(got), want, got)
+	}
+}

@@ -1,0 +1,273 @@
+// Package loader type-checks Go packages for the tslint analyzers
+// without golang.org/x/tools: it shells out to `go list -export` for
+// package metadata and compiled export data, parses the target
+// packages from source, and resolves their imports through the
+// standard library's gc-export importer.  Everything runs offline —
+// the only external process is the local go command.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+const listFields = "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Module,Incomplete,Error"
+
+// goList runs `go list -e -export -deps` over args in dir and decodes
+// the JSON stream.
+func goList(dir string, args []string) ([]listPkg, error) {
+	cmdArgs := append([]string{"list", "-e", "-export", "-deps", listFields}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to *types.Package via compiled
+// gc export data files (as produced by `go list -export` or listed in a
+// vet config's PackageFile map).
+type exportImporter struct {
+	imp types.Importer
+}
+
+// NewExportImporter returns a types.Importer backed by the given
+// import-path -> export-data-file map.  importMap optionally rewrites
+// source-level import paths (vendoring); it may be nil.
+func NewExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if actual, ok := importMap[path]; ok {
+			path = actual
+		}
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &exportImporter{imp: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.imp.Import(path)
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// CheckFiles parses and type-checks the given source files as one
+// package with the given import path, resolving imports through imp.
+func CheckFiles(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		af, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	var dir string
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load resolves the given package patterns (e.g. "./...") in dir,
+// type-checks every matched package of the main module from source, and
+// returns them in dependency order.  Dependencies — standard library
+// and module-internal alike — are imported from gc export data, so a
+// full module load costs one `go list -export` plus parsing only the
+// matched packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, f := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, f))
+		}
+		pkg, err := CheckFiles(fset, p.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a single directory of Go files (an analysistest
+// testdata package) under the given import path.  Imports must resolve
+// within the standard library; their export data is obtained from the
+// go command on demand.
+func LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+
+	// Collect the imports so one go list call fetches all export data.
+	imports := map[string]bool{}
+	for _, fn := range filenames {
+		af, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range af.Imports {
+			p := strings.Trim(im.Path.Value, `"`)
+			if p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports, err := stdExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := NewExportImporter(fset, exports, nil)
+	return CheckFiles(fset, path, filenames, imp)
+}
+
+// stdExportCache memoizes export-data locations across LoadDir calls
+// within one process (the analysistest suites load many small
+// packages with overlapping imports).
+var stdExportCache = map[string]string{}
+
+func stdExports(imports map[string]bool) (map[string]string, error) {
+	var missing []string
+	for p := range imports {
+		if _, ok := stdExportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		listed, err := goList(".", missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExportCache))
+	for k, v := range stdExportCache {
+		out[k] = v
+	}
+	return out, nil
+}

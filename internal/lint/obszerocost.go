@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threadscan/internal/lint/analysis"
+)
+
+// Obszerocost returns the analyzer that makes the observability
+// layer's "zero cost when disabled" contract structural.  The runtime
+// test (TestDisabledRecorderAllocatesNothing) pins the behavior; this
+// analyzer pins the shape that produces it:
+//
+//   - every recorder hot method must open with the nil/enabled guard
+//     (`if r == nil || !r.enabled { return }`), so a nil or disabled
+//     recorder costs two comparisons and nothing else;
+//   - hot methods may not contain closures, fmt calls, string
+//     concatenation, new(), or &CompositeLit — the allocations that
+//     would survive even a disabled-path guard or bloat the enabled
+//     path the virtual clock never sees;
+//   - call sites in the hot packages (core, reclaim) may not build
+//     allocating argument expressions for recorder calls, since
+//     arguments are evaluated before the callee's guard can decline
+//     them.
+func Obszerocost(cfg *Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "obszerocost",
+		Doc: "enforce the recorder's zero-cost-when-disabled contract:\n" +
+			"leading nil/enabled guards in hot methods, no closures/fmt/\n" +
+			"string building inside them, no allocating arguments at call\n" +
+			"sites in the hot packages",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			runObszerocost(pass, cfg)
+			return nil, nil
+		},
+	}
+}
+
+func runObszerocost(pass *analysis.Pass, cfg *Config) {
+	// Which configured recorder types does this package define?
+	definesRecorder := false
+	for _, rt := range cfg.RecorderTypes {
+		if pkgOfTypePath(rt) == pass.Pkg.Path() {
+			definesRecorder = true
+		}
+	}
+	if definesRecorder {
+		forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+			if recv := receiverNamed(pass.TypesInfo, fd); recv != "" &&
+				contains(cfg.RecorderTypes, recv) &&
+				contains(cfg.RecorderHotMethods, fd.Name.Name) {
+				checkHotMethod(pass, fd)
+			}
+		})
+	}
+	if contains(cfg.RecorderCallerPackages, pass.Pkg.Path()) {
+		checkRecorderCallers(pass, cfg)
+	}
+}
+
+// pkgOfTypePath splits "pkgpath.Type" and returns pkgpath.
+func pkgOfTypePath(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[:i]
+		}
+	}
+	return ""
+}
+
+// receiverNamed returns "pkgpath.Type" for fd's receiver, or "".
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return ""
+	}
+	return namedTypePath(namedTypeOf(t))
+}
+
+// checkHotMethod enforces the guard-first shape and the allocation bans
+// inside one recorder hot method.
+func checkHotMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recvObj := receiverObj(pass.TypesInfo, fd)
+	if !startsWithGuard(pass.TypesInfo, fd, recvObj) {
+		pass.Reportf(fd.Pos(),
+			"recorder hot method %s does not open with the nil/enabled guard (`if r == nil || !r.enabled { return }`): a disabled recorder must cost two comparisons and nothing else",
+			fd.Name.Name)
+	}
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure inside recorder hot method %s: the closure (and its captures) can heap-allocate even when recording is disabled", fd.Name.Name)
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s inside recorder hot method %s: formatting allocates and is never zero-cost", fn.Name(), fd.Name.Name)
+			}
+			if builtinName(info, n) == "new" {
+				pass.Reportf(n.Pos(), "new() inside recorder hot method %s: unconditional heap allocation", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation inside recorder hot method %s: allocates on every call", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal inside recorder hot method %s: escapes to the heap on every call", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiverObj returns the receiver variable's object.
+func receiverObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// startsWithGuard accepts the two sanctioned opening shapes:
+//
+//	if r == nil || !r.enabled { return ... }
+//	return r != nil && r.enabled     (boolean accessors)
+func startsWithGuard(info *types.Info, fd *ast.FuncDecl, recv types.Object) bool {
+	if recv == nil || len(fd.Body.List) == 0 {
+		return false
+	}
+	switch first := fd.Body.List[0].(type) {
+	case *ast.IfStmt:
+		if !mentionsNilCheck(info, first.Cond, recv) {
+			return false
+		}
+		// The guard body must leave the method (return).
+		n := len(first.Body.List)
+		if n == 0 {
+			return false
+		}
+		_, isReturn := first.Body.List[n-1].(*ast.ReturnStmt)
+		return isReturn
+	case *ast.ReturnStmt:
+		for _, res := range first.Results {
+			if mentionsNilCheck(info, res, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mentionsNilCheck reports whether e contains `recv == nil` or
+// `recv != nil`.
+func mentionsNilCheck(info *types.Info, e ast.Expr, recv types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		var idSide, nilSide ast.Expr = be.X, be.Y
+		if isNilIdent(info, idSide) {
+			idSide, nilSide = nilSide, idSide
+		}
+		if !isNilIdent(info, nilSide) {
+			return true
+		}
+		if id, ok := ast.Unparen(idSide).(*ast.Ident); ok && info.Uses[id] == recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkRecorderCallers flags allocating argument expressions in calls
+// to recorder methods from the hot packages.
+func checkRecorderCallers(pass *analysis.Pass, cfg *Config) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			recv := namedTypePath(namedTypeOf(sig.Recv().Type()))
+			if !contains(cfg.RecorderTypes, recv) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.CompositeLit:
+						pass.Reportf(m.Pos(), "composite literal built as a recorder argument: arguments are evaluated before the recorder's guard, so this allocates even when recording is disabled (hoist it behind Enabled())")
+					case *ast.FuncLit:
+						pass.Reportf(m.Pos(), "closure built as a recorder argument: allocates even when recording is disabled")
+						return false
+					case *ast.CallExpr:
+						if f := calleeFunc(info, m); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+							pass.Reportf(m.Pos(), "fmt.%s evaluated as a recorder argument: formats (and allocates) even when recording is disabled", f.Name())
+						}
+					case *ast.BinaryExpr:
+						if m.Op == token.ADD && isStringExpr(info, m.X) {
+							pass.Reportf(m.Pos(), "string concatenation evaluated as a recorder argument: allocates even when recording is disabled")
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}

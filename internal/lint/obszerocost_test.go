@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/analysistest"
+)
+
+func obszerocostConfig() *lint.Config {
+	return &lint.Config{
+		RecorderTypes:          []string{"obszerocost.Recorder"},
+		RecorderHotMethods:     []string{"Begin", "End", "Note", "Observe", "Enabled"},
+		RecorderCallerPackages: []string{"obszerocost"},
+	}
+}
+
+func TestObszerocost(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Obszerocost(obszerocostConfig()), "obszerocost")
+}

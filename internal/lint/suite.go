@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"threadscan/internal/lint/analysis"
+	"threadscan/internal/lint/loader"
+)
+
+// Suite returns the five tslint analyzers wired to cfg, in stable
+// order.
+func Suite(cfg *Config) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Simdeterminism(cfg),
+		Atomicmix(cfg),
+		Tagptr(cfg),
+		Obszerocost(cfg),
+		Useafterretire(cfg),
+	}
+}
+
+// Finding is one diagnostic attributed to its analyzer, positioned in
+// file coordinates.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// raw findings sorted by position.  Suppression directives are NOT
+// applied; use ApplyIgnores for the driver-level view.
+//
+// Test files are exempt: the suite polices the simulator's production
+// source, and tests legitimately construct the very patterns the
+// analyzers ban (hand-tagged ring words for the fuzz corpus, host-side
+// timeouts).  The standalone loader never sees test files; under
+// `go vet -vettool` the package variants do include them, so the
+// filter lives here, on the one shared path.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Check loads the packages matching patterns under dir, runs the full
+// suite with cfg, applies //tslint:ignore directives, and returns the
+// surviving findings (including directive misuse).  This is the whole
+// cmd/tslint main path, importable so tests can drive it in-process.
+func Check(dir string, cfg *Config, patterns ...string) ([]Finding, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	suite := Suite(cfg)
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, suite)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ApplyIgnores(pkg, fs)...)
+	}
+	SortFindings(all)
+	return all, nil
+}

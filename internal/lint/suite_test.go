@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"threadscan/internal/lint"
+)
+
+// TestCheckRealModule is the in-process dogfood: the full suite, with
+// the CI configuration, over the packages the analyzers police hardest.
+// The tree must be clean — any finding here would also fail the tslint
+// CI job.
+func TestCheckRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the module")
+	}
+	findings, err := lint.Check("../..", lint.DefaultConfig(),
+		"./internal/core/...", "./internal/obs/...", "./internal/harness/...")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding in the real tree: %s", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	fs := []lint.Finding{
+		{Analyzer: "tagptr", Message: "b"},
+		{Analyzer: "atomicmix", Message: "a"},
+	}
+	fs[0].Pos.Filename, fs[0].Pos.Line, fs[0].Pos.Column = "x.go", 4, 2
+	fs[1].Pos.Filename, fs[1].Pos.Line, fs[1].Pos.Column = "x.go", 4, 2
+	lint.SortFindings(fs)
+	// Same position: analyzer name breaks the tie.
+	if fs[0].Analyzer != "atomicmix" {
+		t.Errorf("sort order: %v", fs)
+	}
+	if got := fs[0].String(); !strings.Contains(got, "x.go:4:2") || !strings.Contains(got, "(atomicmix)") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"threadscan/internal/lint/analysis"
+)
+
+// Tagptr returns the analyzer that polices the per-node retirement
+// routing's pointer tagging: ring entries carry the retiring thread's
+// NUMA node in the low three bits of a word-aligned address
+// (internal/core/pernode.go), so a tagged entry is NOT an address — it
+// must pass through the masking accessors (entryAddr/entryNode) before
+// it is freed, dereferenced, or converted to a pointer.
+//
+// Two rules:
+//
+//  1. Flow: a value produced by a tag producer (tagEntry) may only be
+//     handed to a tag carrier (Ring.Push), a masking accessor, or
+//     another local variable.  Any other use — a call argument, a
+//     pointer/uintptr conversion, arithmetic, indexing, a store into a
+//     field — treats a tagged word as an address and is reported.
+//  2. Hygiene: the mask constant itself (& 7 / &^ 7) may appear only
+//     inside the producer and accessor bodies, so there is exactly one
+//     place the tag layout lives; inline re-masking drifts silently
+//     when MaxRoutedNodes changes.
+func Tagptr(cfg *Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "tagptr",
+		Doc: "track node-tagged ring entries and require the masking\n" +
+			"accessors before any use of the entry as an address",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if !contains(cfg.TagPackages, pass.Pkg.Path()) {
+				return nil, nil
+			}
+			report := reportOnce(pass)
+			forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+				name := declFuncName(pass.TypesInfo, fd)
+				exempt := contains(cfg.TagProducers, name) || contains(cfg.TagAccessors, name)
+				if !exempt {
+					checkInlineMask(pass, cfg, fd, report)
+				}
+				checkTagFlow(pass, cfg, fd, report)
+			})
+			return nil, nil
+		},
+	}
+}
+
+// checkInlineMask reports uses of the tag mask constant in bitwise
+// expressions outside the accessor/producer bodies.
+func checkInlineMask(pass *analysis.Pass, cfg *Config, fd *ast.FuncDecl, report func(ast.Node, string, ...interface{})) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op != token.AND && be.Op != token.AND_NOT {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			tv, ok := info.Types[side]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact && v == cfg.TagMask {
+				report(be, "inline node-tag masking (%s %d): the tag layout belongs to the accessors — use entryAddr/entryNode", be.Op, cfg.TagMask)
+			}
+		}
+		return true
+	})
+}
+
+// checkTagFlow does a local def-use walk: variables assigned from a tag
+// producer (transitively, through local copies) are "tagged"; any use
+// other than a carrier/accessor argument, a comparison, or a copy to
+// another local is reported.
+func checkTagFlow(pass *analysis.Pass, cfg *Config, fd *ast.FuncDecl, report func(ast.Node, string, ...interface{})) {
+	info := pass.TypesInfo
+
+	isProducerCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && contains(cfg.TagProducers, fn.FullName())
+	}
+
+	// Fixpoint over local copies: x := tagEntry(...); y := x.
+	tagged := map[types.Object]token.Pos{}
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				rhs := ast.Unparen(as.Rhs[j])
+				if isProducerCall(rhs) {
+					tagged[obj] = as.Pos()
+					continue
+				}
+				if rid, ok := rhs.(*ast.Ident); ok {
+					if _, isTagged := tagged[info.Uses[rid]]; isTagged {
+						tagged[obj] = as.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tagged) == 0 {
+		return
+	}
+
+	isTaggedIdent := func(e ast.Expr) (*ast.Ident, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		_, hit := tagged[info.Uses[id]]
+		return id, hit
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(info, n) {
+				for _, arg := range n.Args {
+					if id, hit := isTaggedIdent(arg); hit {
+						report(id, "tagged ring entry %s converted to %s without masking: the low bits carry the node tag, not address bits (use entryAddr first)", id.Name, typeString(info.TypeOf(n)))
+					}
+				}
+				return true
+			}
+			fn := calleeFunc(info, n)
+			if fn != nil {
+				name := fn.FullName()
+				if contains(cfg.TagAccessors, name) || contains(cfg.TagCarriers, name) || contains(cfg.TagProducers, name) {
+					return true // sanctioned sink; don't descend into args
+				}
+			}
+			for _, arg := range n.Args {
+				if id, hit := isTaggedIdent(arg); hit {
+					report(id, "tagged ring entry %s passed to a call without masking: callees expect an address, but the low bits carry the node tag (use entryAddr/entryNode)", id.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				return true // equality between tagged values is fine
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if id, hit := isTaggedIdent(side); hit {
+					report(id, "arithmetic on tagged ring entry %s without masking (use entryAddr/entryNode)", id.Name)
+				}
+			}
+		case *ast.IndexExpr:
+			if id, hit := isTaggedIdent(n.Index); hit {
+				report(id, "tagged ring entry %s used as an index without masking (use entryAddr/entryNode)", id.Name)
+			}
+		case *ast.StarExpr:
+			if id, hit := isTaggedIdent(n.X); hit {
+				report(id, "dereference of tagged ring entry %s without masking (use entryAddr first)", id.Name)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, hit := isTaggedIdent(res); hit {
+					report(id, "tagged ring entry %s escapes via return without masking: callers cannot tell a tagged word from an address (use entryAddr/entryNode, or push it to the ring)", id.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			// Copies between locals were handled by the taint pass;
+			// a tagged RHS stored anywhere else (field, slice element,
+			// map) escapes local tracking.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for j, rhs := range n.Rhs {
+				id, hit := isTaggedIdent(rhs)
+				if !hit {
+					continue
+				}
+				if _, isIdent := n.Lhs[j].(*ast.Ident); isIdent {
+					continue
+				}
+				report(id, "tagged ring entry %s stored outside the ring without masking: only the SPSC ring may carry tagged entries (use entryAddr, or Ring.Push)", id.Name)
+			}
+		}
+		return true
+	})
+}

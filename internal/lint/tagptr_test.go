@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/analysistest"
+)
+
+func tagptrConfig() *lint.Config {
+	return &lint.Config{
+		TagPackages:  []string{"tagptr"},
+		TagProducers: []string{"tagptr.tagEntry"},
+		TagAccessors: []string{"tagptr.entryAddr", "tagptr.entryNode"},
+		TagCarriers:  []string{"(*tagptr.Ring).Push"},
+		TagMask:      7,
+	}
+}
+
+func TestTagptr(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Tagptr(tagptrConfig()), "tagptr")
+}

@@ -1,0 +1,40 @@
+// Package atomicmix is atomicmix analyzer testdata: fields accessed
+// through sync/atomic anywhere must be accessed atomically everywhere.
+package atomicmix
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type counters struct {
+	hits   uint64
+	misses uint64
+	flags  uint64
+	typed  atomic.Int64
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1) // ok: the atomic access itself
+	c.misses++                   // ok: misses is never accessed atomically
+	c.typed.Add(1)               // ok: typed atomics cannot be mixed
+}
+
+func (c *counters) leak() uint64 {
+	return c.hits // want "plain access of field hits"
+}
+
+func (c *counters) store() {
+	c.hits = 0 // want "plain access of field hits"
+}
+
+func (c *counters) viaUnsafe() {
+	// Address reaches the atomic through conversions: still an atomic
+	// site, so the plain read below is mixed access.
+	atomic.StorePointer((*unsafe.Pointer)(unsafe.Pointer(&c.flags)), nil) // ok
+	_ = c.flags                                                           // want "plain access of field flags"
+}
+
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits) // ok: atomic access
+}

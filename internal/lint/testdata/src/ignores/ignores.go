@@ -1,0 +1,49 @@
+// Package ignores exercises the //tslint:ignore suppression facility
+// against real simdeterminism violations.  The expectations live in
+// ignore_test.go (not // want comments), because suppression is applied
+// by the driver layer, above the analyzers.
+package ignores
+
+import "time"
+
+// suppressed has a justified ignore: the violation on the next line is
+// silenced, and nothing else.
+func suppressed() time.Time {
+	//tslint:ignore simdeterminism boot-time banner, runs before the sim starts
+	return time.Now()
+}
+
+// bare has an ignore with no reason: the directive itself is diagnosed
+// and the violation survives.
+func bare() time.Time {
+	//tslint:ignore simdeterminism
+	return time.Now()
+}
+
+// stale has an ignore above a clean line: the directive is diagnosed as
+// stale so fixed code sheds its suppressions.
+func stale() int {
+	//tslint:ignore simdeterminism this line is clean
+	return 42
+}
+
+// twoOnOneLine produces two diagnostics on one line; the single
+// directive suppresses exactly one of them.
+func twoOnOneLine() time.Duration {
+	//tslint:ignore simdeterminism only one of the two calls is justified
+	return time.Since(time.Now())
+}
+
+// wrongAnalyzer names an analyzer with no diagnostic on the next line:
+// the directive is stale and the simdeterminism violation survives.
+func wrongAnalyzer() time.Time {
+	//tslint:ignore atomicmix mismatched analyzer name
+	return time.Now()
+}
+
+// notADirective has a comment that merely shares the prefix; it is not
+// parsed as a directive and produces nothing.
+func notADirective() int {
+	//tslint:ignorance is not a directive
+	return 7
+}

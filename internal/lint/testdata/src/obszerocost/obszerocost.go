@@ -1,0 +1,85 @@
+// Package obszerocost is obszerocost analyzer testdata: recorder hot
+// methods must open with the nil/enabled guard and stay allocation-
+// shaped-free; call sites must not build allocating arguments.
+package obszerocost
+
+import "fmt"
+
+// Recorder mirrors the real obs.Recorder shape.
+type Recorder struct {
+	enabled bool
+	names   []string
+	count   int64
+}
+
+type span struct {
+	label string
+	start int64
+}
+
+// Begin is a well-formed hot method: guard first, no allocations that
+// survive the disabled path.
+func (r *Recorder) Begin(start int64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.count++
+}
+
+// End is missing the guard entirely.
+func (r *Recorder) End(start int64) { // want "recorder hot method End does not open with the nil/enabled guard"
+	r.count--
+}
+
+// Note has the guard but allocates in every way the contract bans.
+func (r *Recorder) Note(name string, start int64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	msg := fmt.Sprintf("note %s", name) // want "fmt.Sprintf inside recorder hot method Note"
+	msg = name + "!"                    // want "string concatenation inside recorder hot method Note"
+	sp := &span{label: msg}             // want "&composite literal inside recorder hot method Note"
+	p := new(span)                      // want `new\(\) inside recorder hot method Note`
+	f := func() { r.count++ }           // want "closure inside recorder hot method Note"
+	f()
+	_, _ = sp, p
+}
+
+// Enabled uses the boolean-accessor guard shape.
+func (r *Recorder) Enabled() bool {
+	return r != nil && r.enabled
+}
+
+// Observe is guarded by a late guard — not good enough: statements
+// before the guard run even for nil receivers.
+func (r *Recorder) Observe(d int64) { // want "recorder hot method Observe does not open with the nil/enabled guard"
+	total := d * 2
+	if r == nil || !r.enabled {
+		return
+	}
+	r.count += total
+}
+
+// helper is not in the hot-method list: allocation is fine here.
+func (r *Recorder) helper() *span {
+	return &span{start: 1}
+}
+
+// Mark is not hot either, but callers still must not build allocating
+// arguments for it: arguments evaluate before any guard.
+func (r *Recorder) Mark(s span) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.count++
+}
+
+// --- call sites (this package is also in RecorderCallerPackages) ----
+
+func callers(r *Recorder, name string, id int) {
+	r.Begin(1)                          // ok: constant argument
+	r.Note(name, 2)                     // ok: plain value argument
+	r.Note(fmt.Sprintf("op-%d", id), 3) // want "fmt.Sprintf evaluated as a recorder argument"
+	r.Note(name+"-suffix", 4)           // want "string concatenation evaluated as a recorder argument"
+	r.Mark(span{label: name})           // want "composite literal built as a recorder argument"
+}

@@ -1,0 +1,10 @@
+// Package simdetout is simdeterminism testdata for package scoping:
+// it is NOT in the simulated-package list, so nothing here is
+// diagnosed.
+package simdetout
+
+import "time"
+
+func HostSide() time.Time {
+	return time.Now() // ok: package is outside the simulated set
+}

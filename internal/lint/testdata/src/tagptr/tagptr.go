@@ -1,0 +1,86 @@
+// Package tagptr is tagptr analyzer testdata: values produced by the
+// low-3-bit node tagging must pass through the masking accessors
+// before any use as an address.
+package tagptr
+
+import "unsafe"
+
+// tagEntry is the configured tag producer.
+func tagEntry(addr uint64, node int) uint64 { return addr | uint64(node) }
+
+// entryAddr and entryNode are the configured masking accessors.
+func entryAddr(v uint64) uint64 { return v &^ 7 }
+func entryNode(v uint64) int    { return int(v & 7) }
+
+// Ring is the configured tag carrier.
+type Ring struct{ buf []uint64 }
+
+func (r *Ring) Push(v uint64) bool {
+	r.buf = append(r.buf, v)
+	return true
+}
+
+type node struct{ next uint64 }
+
+type sink struct{ entry uint64 }
+
+func free(addr uint64) { _ = addr }
+
+func okFlows(r *Ring, addr uint64, n int) {
+	tag := tagEntry(addr, n)
+	r.Push(tag)        // ok: carrier
+	_ = entryAddr(tag) // ok: accessor
+	_ = entryNode(tag) // ok: accessor
+	tag2 := tag        // ok: local copy stays tracked...
+	if tag2 == tag {   // ok: equality between tagged values
+		r.Push(tag2) // ok: ...and may still go to the carrier
+	}
+}
+
+func badCall(addr uint64, n int) {
+	tag := tagEntry(addr, n)
+	free(tag) // want "tagged ring entry tag passed to a call without masking"
+}
+
+func badConversion(addr uint64, n int) unsafe.Pointer {
+	tag := tagEntry(addr, n)
+	return unsafe.Pointer(uintptr(tag)) // want "tagged ring entry tag converted to uintptr without masking"
+}
+
+func badArith(addr uint64, n int) {
+	tag := tagEntry(addr, n)
+	_ = tag + 8 // want "arithmetic on tagged ring entry tag without masking"
+}
+
+func badIndex(buf []byte, addr uint64, n int) byte {
+	tag := tagEntry(addr, n)
+	return buf[tag] // want "tagged ring entry tag used as an index without masking"
+}
+
+func badStore(s *sink, addr uint64, n int) {
+	tag := tagEntry(addr, n)
+	s.entry = tag // want "tagged ring entry tag stored outside the ring without masking"
+}
+
+func badReturn(addr uint64, n int) uint64 {
+	tag := tagEntry(addr, n)
+	return tag // want "tagged ring entry tag escapes via return without masking"
+}
+
+func badCopyCall(addr uint64, n int) {
+	tag := tagEntry(addr, n)
+	alias := tag
+	free(alias) // want "tagged ring entry alias passed to a call without masking"
+}
+
+func inlineMask(v uint64) uint64 {
+	return v &^ 7 // want "inline node-tag masking"
+}
+
+func inlineNodeMask(v uint64) int {
+	return int(v & 7) // want "inline node-tag masking"
+}
+
+func unrelatedMask(v uint64) uint64 {
+	return v & 255 // ok: not the tag mask
+}

@@ -1,0 +1,112 @@
+// Package useafterretire is useafterretire analyzer testdata: no
+// dereference or reuse of a value after it was passed to Retire/Free
+// on the same path.
+package useafterretire
+
+// Thread mirrors the simulated-thread handle that rides along on every
+// call; it is configured as a non-consumed argument type.
+type Thread struct{ cycles int64 }
+
+func (t *Thread) Charge(c int64)          { t.cycles += c }
+func (t *Thread) Load(addr uint64) uint64 { return addr }
+func (t *Thread) Store(addr, v uint64)    {}
+
+type node struct {
+	val  int
+	next *node
+}
+
+func Retire(t *Thread, p *node)   {}
+func Free(t *Thread, addr uint64) {}
+func newAddr() uint64             { return 8 }
+
+func derefAfterRetire(t *Thread, p *node) int {
+	Retire(t, p)
+	return p.val // want "field access through p after it was retired/freed"
+}
+
+func starAfterRetire(t *Thread, p *node) node {
+	Retire(t, p)
+	return *p // want "dereference of p after it was retired/freed"
+}
+
+func doubleRetire(t *Thread, addr uint64) {
+	Free(t, addr)
+	Free(t, addr) // want "addr retired/freed again"
+}
+
+func loadAfterFree(t *Thread, addr uint64) uint64 {
+	Free(t, addr)
+	return t.Load(addr) // want "addr passed to a memory accessor after it was retired/freed"
+}
+
+func threadHandleNotConsumed(t *Thread, p *node) {
+	Retire(t, p)
+	t.Charge(1) // ok: the thread handle is not consumed by Retire
+}
+
+func readBeforeRetire(t *Thread, p *node) int {
+	v := p.val // ok: read happens before the retire
+	Retire(t, p)
+	return v
+}
+
+func branchDoesNotPoison(t *Thread, addr uint64, full bool) uint64 {
+	if full {
+		Free(t, addr)
+		return 0
+	}
+	return t.Load(addr) // ok: the retiring branch returned
+}
+
+func branchLocalUse(t *Thread, addr uint64, full bool) uint64 {
+	if full {
+		Free(t, addr)
+		return t.Load(addr) // want "addr passed to a memory accessor after it was retired/freed"
+	}
+	return 0
+}
+
+func reassignClears(t *Thread, addr uint64) uint64 {
+	Free(t, addr)
+	addr = newAddr()
+	return t.Load(addr) // ok: addr was reassigned after the free
+}
+
+func switchScoped(t *Thread, addr uint64, mode int) uint64 {
+	switch mode {
+	case 0:
+		Free(t, addr)
+		return 0
+	case 1:
+		return t.Load(addr) // ok: the freeing case is a sibling branch
+	}
+	return t.Load(addr) // ok: switch cases do not poison the fall-through
+}
+
+func elseBranchLocal(t *Thread, addr uint64, full bool) {
+	if full {
+		t.Store(addr, 1)
+	} else {
+		Free(t, addr)
+		t.Load(addr) // want "addr passed to a memory accessor after it was retired/freed"
+	}
+}
+
+func deferredBody(t *Thread, p *node) {
+	defer func() { _ = p.val }() // ok: deferred bodies run on a different path
+	Retire(t, p)
+}
+
+func freeEach(t *Thread, addrs []uint64) {
+	for _, a := range addrs {
+		Free(t, a) // ok: the range variable is rebound every iteration
+	}
+}
+
+func loopCarriesRetire(t *Thread, addr uint64) {
+	for i := 0; i < 4; i++ {
+		t.Load(addr)  // want "addr passed to a memory accessor after it was retired/freed"
+		Free(t, addr) // want "addr retired/freed again"
+	}
+}

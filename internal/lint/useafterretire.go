@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threadscan/internal/lint/analysis"
+)
+
+// Useafterretire returns the analyzer that flags, within a function,
+// any address-like use of a value after it was passed to a
+// Retire/Free-family call on the same path — the exact shape of the
+// PR 2 double-retire double-free.  "Address-like use" means a real
+// pointer dereference (*p, p.f, p[i]), passing the value to a
+// simulated-memory accessor (Load/Store/Touch), or retiring it again.
+//
+// The analysis is path-local and deliberately conservative: retire
+// state flows forward through a statement list and into nested blocks,
+// but not out of a branch, so an `if full { Free(x); return }` pattern
+// never poisons the fall-through path.  Reassigning the variable
+// clears its state.  Loop bodies are scanned twice so a retire at the
+// bottom of an iteration is seen by a use at the top of the next.
+func Useafterretire(cfg *Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "useafterretire",
+		Doc: "flag dereference or reuse of a value after it was passed to\n" +
+			"Retire/Free on the same path (use-after-retire, double retire)",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			report := reportOnce(pass)
+			forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+				u := &uarScan{pass: pass, cfg: cfg, report: report}
+				u.scanList(fd.Body.List, map[types.Object]token.Pos{})
+			})
+			return nil, nil
+		},
+	}
+}
+
+type uarScan struct {
+	pass   *analysis.Pass
+	cfg    *Config
+	report func(ast.Node, string, ...interface{})
+}
+
+// retireCall returns the called function if call is a Retire/Free-family
+// call, else nil.
+func (u *uarScan) retireCall(call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(u.pass.TypesInfo, call)
+	if fn == nil || !contains(u.cfg.RetireFuncs, fn.Name()) {
+		return nil
+	}
+	return fn
+}
+
+// derefCall reports whether call is a simulated-memory accessor whose
+// arguments count as dereferences.
+func (u *uarScan) derefCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(u.pass.TypesInfo, call)
+	return fn != nil && contains(u.cfg.DerefFuncs, fn.Name())
+}
+
+// consumedArgs returns the identifiers a retire call consumes: pointer-
+// or uint64-typed arguments, minus the thread-handle types that ride
+// along on every simulated call.
+func (u *uarScan) consumedArgs(call *ast.CallExpr) []*ast.Ident {
+	info := u.pass.TypesInfo
+	var out []*ast.Ident
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		t := info.TypeOf(id)
+		if t == nil {
+			continue
+		}
+		if contains(u.cfg.RetireIgnoreTypes, typeString(t)) {
+			continue
+		}
+		switch tt := t.Underlying().(type) {
+		case *types.Pointer:
+			out = append(out, id)
+		case *types.Basic:
+			if tt.Kind() == types.Uint64 || tt.Kind() == types.Uintptr {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// scanList walks one statement list in order, threading the retired-set
+// through it.
+func (u *uarScan) scanList(stmts []ast.Stmt, retired map[types.Object]token.Pos) {
+	for _, s := range stmts {
+		u.scanStmt(s, retired)
+	}
+}
+
+func copyRetired(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (u *uarScan) scanStmt(s ast.Stmt, retired map[types.Object]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		u.scanList(s.List, retired)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			u.scanStmt(s.Init, retired)
+		}
+		u.checkUses(s.Cond, retired)
+		u.recordRetires(s.Cond, retired)
+		u.scanStmt(s.Body, copyRetired(retired))
+		if s.Else != nil {
+			u.scanStmt(s.Else, copyRetired(retired))
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			u.scanStmt(s.Init, retired)
+		}
+		if s.Cond != nil {
+			u.checkUses(s.Cond, retired)
+		}
+		// Two passes over the body: a retire late in iteration N is a
+		// use-after-retire for an access early in iteration N+1.
+		body := copyRetired(retired)
+		u.scanStmt(s.Body, body)
+		if s.Post != nil {
+			u.scanStmt(s.Post, body)
+		}
+		u.scanStmt(s.Body, body)
+		return
+	case *ast.RangeStmt:
+		u.checkUses(s.X, retired)
+		body := copyRetired(retired)
+		// The range variables are rebound at the top of every iteration,
+		// so retired state for them never carries across passes — the
+		// per-element `for _, a := range list { Free(a) }` idiom is fine.
+		u.clearRangeVars(s, body)
+		u.scanStmt(s.Body, body)
+		u.clearRangeVars(s, body)
+		u.scanStmt(s.Body, body)
+		return
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			u.scanStmt(s.Init, retired)
+		}
+		if s.Tag != nil {
+			u.checkUses(s.Tag, retired)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				u.scanList(cc.Body, copyRetired(retired))
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Rare in simulated code; scope each arm conservatively.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				u.scanList(b.List, copyRetired(retired))
+				return false
+			}
+			return true
+		})
+		return
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned bodies run on a different path.
+		return
+	}
+
+	// Plain statement: check uses against the current retired set,
+	// record new retires, then apply reassignment clearing.
+	u.checkUses(s, retired)
+	u.recordRetires(s, retired)
+	u.clearAssigned(s, retired)
+}
+
+// checkUses reports address-like uses of retired values inside n.
+func (u *uarScan) checkUses(n ast.Node, retired map[types.Object]token.Pos) {
+	if n == nil || len(retired) == 0 {
+		return
+	}
+	info := u.pass.TypesInfo
+	pos := func(p token.Pos) token.Position { return u.pass.Fset.Position(p) }
+	hit := func(e ast.Expr) (*ast.Ident, token.Pos, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, token.NoPos, false
+		}
+		at, hit := retired[info.Uses[id]]
+		return id, at, hit
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if id, at, ok := hit(m.X); ok {
+				u.report(id, "dereference of %s after it was retired/freed at %s", id.Name, pos(at))
+			}
+		case *ast.SelectorExpr:
+			if id, at, ok := hit(m.X); ok {
+				if _, isPtr := info.TypeOf(id).Underlying().(*types.Pointer); isPtr {
+					u.report(id, "field access through %s after it was retired/freed at %s", id.Name, pos(at))
+				}
+			}
+		case *ast.IndexExpr:
+			if id, at, ok := hit(m.X); ok {
+				u.report(id, "indexing through %s after it was retired/freed at %s", id.Name, pos(at))
+			}
+		case *ast.CallExpr:
+			if fn := u.retireCall(m); fn != nil {
+				for _, id := range u.consumedArgs(m) {
+					if at, dup := retired[info.Uses[id]]; dup {
+						u.report(id, "%s retired/freed again after %s: double retire leads to double free", id.Name, pos(at))
+					}
+				}
+				return true
+			}
+			if u.derefCall(m) {
+				for _, arg := range m.Args {
+					if id, at, ok := hit(arg); ok {
+						u.report(id, "%s passed to a memory accessor after it was retired/freed at %s", id.Name, pos(at))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// clearRangeVars drops retired state for a range statement's iteration
+// variables.
+func (u *uarScan) clearRangeVars(s *ast.RangeStmt, retired map[types.Object]token.Pos) {
+	info := u.pass.TypesInfo
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				delete(retired, obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				delete(retired, obj)
+			}
+		}
+	}
+}
+
+// recordRetires adds the values consumed by retire calls inside n.
+func (u *uarScan) recordRetires(n ast.Node, retired map[types.Object]token.Pos) {
+	if n == nil {
+		return
+	}
+	info := u.pass.TypesInfo
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if u.retireCall(call) == nil {
+			return true
+		}
+		for _, id := range u.consumedArgs(call) {
+			if obj := info.Uses[id]; obj != nil {
+				if _, dup := retired[obj]; !dup {
+					retired[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// clearAssigned removes retired state for variables the statement
+// reassigns.
+func (u *uarScan) clearAssigned(n ast.Node, retired map[types.Object]token.Pos) {
+	info := u.pass.TypesInfo
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	// A retire call on the RHS re-taints after the clear, so only clear
+	// when the RHS is retire-free; recordRetires already ran.
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				rhsRetires := false
+				ast.Inspect(as, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && u.retireCall(call) != nil {
+						for _, cid := range u.consumedArgs(call) {
+							if info.Uses[cid] == obj {
+								rhsRetires = true
+							}
+						}
+					}
+					return !rhsRetires
+				})
+				if !rhsRetires {
+					delete(retired, obj)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadscan/internal/lint"
+	"threadscan/internal/lint/analysistest"
+)
+
+func useafterretireConfig() *lint.Config {
+	return &lint.Config{
+		RetireFuncs:       []string{"Retire", "Free"},
+		RetireIgnoreTypes: []string{"*useafterretire.Thread"},
+		DerefFuncs:        []string{"Load", "Store", "Touch"},
+	}
+}
+
+func TestUseafterretire(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Useafterretire(useafterretireConfig()), "useafterretire")
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threadscan/internal/lint/analysis"
+)
+
+// calleeFunc resolves the function or method called by call, or nil
+// for calls through function values, type conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call (pkg.Func).
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin called (append, make,
+// new, ...), or "" if call is not a builtin call.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// declFuncName returns the FullName of the function a FuncDecl defines,
+// or "" when type information is missing.
+func declFuncName(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// typeString returns the canonical string for an expression's type,
+// using full package paths ("*threadscan/internal/simt.Thread").
+func typeString(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// namedTypeOf unwraps pointers and returns the *types.Named beneath t,
+// or nil.
+func namedTypeOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedTypePath returns "pkgpath.Name" for a named type, or "".
+func namedTypePath(n *types.Named) string {
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// forEachFuncDecl invokes f for every function declaration with a body.
+func forEachFuncDecl(files []*ast.File, f func(*ast.FuncDecl)) {
+	for _, file := range files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(fd)
+			}
+		}
+	}
+}
+
+// reportOnce wraps a Pass.Report, de-duplicating by position+message so
+// fixpoint-style walks can re-visit nodes safely.
+func reportOnce(pass *analysis.Pass) func(pos ast.Node, format string, args ...interface{}) {
+	type key struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[key]bool{}
+	return func(n ast.Node, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		k := key{n.Pos(), msg}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: msg})
+	}
+}
