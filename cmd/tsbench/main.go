@@ -17,6 +17,9 @@
 //	tsbench scenarios                       # full suite as JSON on stdout
 //	tsbench scenarios -scenario delete-storm,thread-churn -ds stack,queue
 //	tsbench scenarios -json suite.json -samples   # with footprint series
+//
+//	tsbench harness-bench                   # append a wall-clock trajectory row
+//	tsbench harness-bench -check            # and fail on >2x regression
 package main
 
 import (
@@ -34,9 +37,13 @@ func main() {
 		runScenarios(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "harness-bench" {
+		runHarnessBench(os.Args[2:])
+		return
+	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
-		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode | allocpool")
+		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode | allocpool | overlap")
 		single   = flag.Bool("single", false, "run a single experiment and dump its stats")
 		dsName   = flag.String("ds", "all", "data structure: list | hash | skiplist | all")
 		scheme   = flag.String("scheme", "threadscan", "scheme for -single")
@@ -50,7 +57,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write figure results as CSV to this file")
 		buffer   = flag.Int("buffer", 0, "per-thread delete buffer for -single (0 = 1024)")
 		batch    = flag.Int("batch", 0, "reclaim batch for -single (0 = 1024)")
-		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa/pernode (comma-separated except shards)")
+		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa/pernode/allocpool/overlap (comma-separated except shards)")
 		shardKs  = flag.String("shard-counts", "", "comma-separated K values for -ablation shards (default 1,2,4,8,16)")
 		trace    = flag.String("trace", "", "tracing is a scenarios feature; see: tsbench scenarios -trace out.json")
 	)
@@ -258,6 +265,14 @@ func runAblation(kind string, params harness.SweepParams, ablScenario string, sh
 			fatal(err)
 		}
 		if err := harness.WriteAllocPoolTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "overlap":
+		rows, err := harness.AblationOverlap(splitScenarios(ablScenario), nil, params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteOverlapTable(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
 	default:

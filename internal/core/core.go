@@ -174,6 +174,15 @@ type Config struct {
 	// BufferSize x the node's core count).
 	StealThreshold int
 
+	// SerializeCollects forces per-node collects back onto one
+	// machine-wide reclamation lock — the pre-overlap pipeline, kept as
+	// the A9 ablation's control.  By default (false) PerNode collects on
+	// different nodes run truly concurrently: each node's reclaimer owns
+	// a per-node collect slot, handshake, and shard group (see
+	// overlap.go), and the only cross-node rendezvous is the scan
+	// barrier.  Irrelevant when PerNode is off.
+	SerializeCollects bool
+
 	// Obs, when non-nil, records collect-lifecycle spans (trigger,
 	// signal broadcast, scan, handshake wait, shard sort, sweep, free)
 	// against the recorder.  Recording never charges virtual cycles, so
@@ -238,9 +247,19 @@ type Stats struct {
 
 	// Steal accounting under PerNode: collects run for a node by a
 	// thread of another node, and sweep lists drained cross-node, both
-	// gated by Config.StealThreshold.
+	// gated by Config.StealThreshold.  With concurrent collects
+	// (SerializeCollects off) a steal additionally requires the target
+	// node's collect slot to be free — TryLock arbitration means a
+	// stolen collect never targets a node whose own reclaimer is
+	// active, and never blocks an idle node's own collect.
 	StolenCollects uint64
 	StolenSweeps   uint64
+
+	// OverlappedCollects counts collect phases that began while at
+	// least one other node's collect was already in flight — the
+	// concurrency the per-node collect slots exist to admit.  Always
+	// zero under SerializeCollects (and in classic mode).
+	OverlappedCollects uint64
 
 	HandlerCycles int64 // virtual cycles spent inside scan handlers
 	CollectCycles int64 // virtual cycles spent inside TS-Collect
@@ -277,6 +296,14 @@ type ThreadScan struct {
 	nodeRemark  [][]uint64
 	nodeTrigger []int // per-node sub-buffer size that triggers a collect
 	stealAt     int   // per-node backlog at which remote stealing engages
+
+	// Concurrent per-node collects (PerNode without SerializeCollects;
+	// see overlap.go).  nc[n] is node n's independent collect pipeline —
+	// its own admission lock, scan handshake, shard group, and sweep
+	// lists — so collects on different nodes overlap; the machine-wide
+	// lock above then guards only thread registration.
+	overlap bool
+	nc      []*nodeCollect
 
 	// ringCount approximates the number of nodes buffered since the
 	// last collect began (fresh retirement pressure) for the watermark
@@ -373,6 +400,19 @@ func New(sim *simt.Sim, cfg Config) *ThreadScan {
 		}
 		ts.stats.NodeCollects = make([]uint64, ts.nodes)
 		ts.stats.NodeReclaimed = make([]uint64, ts.nodes)
+		if !cfg.SerializeCollects {
+			ts.overlap = true
+			ts.nc = make([]*nodeCollect, ts.nodes)
+			for n := range ts.nc {
+				ts.nc[n] = &nodeCollect{
+					node:        n,
+					lock:        sim.NewMutex(fmt.Sprintf("threadscan.reclaim.n%d", n)),
+					hs:          sim.NewHandshake(fmt.Sprintf("threadscan.scan.n%d", n)),
+					shards:      newShardSet(cfg.Shards, ts.nodes),
+					reclaimerID: -1,
+				}
+			}
+		}
 	}
 	sim.SetSignalHandler(cfg.Signal, ts.scanHandler)
 	sim.OnThreadStart(ts.threadStart)
@@ -419,8 +459,27 @@ func (ts *ThreadScan) threadStart(t *simt.Thread) {
 // count.
 func (ts *ThreadScan) threadExit(t *simt.Thread) {
 	ts.lock.Lock(t)
+	if ts.overlap {
+		// An in-flight collect's scan barrier may count this thread.
+		// Hold every node's collect slot (ascending — the one global
+		// lock order) so no phase is mid-handshake when we vanish; the
+		// waits are interruptible, so pending scan requests are still
+		// answered — and acked — from right here, and by the time all
+		// slots are held no handshake wants us.
+		for _, nc := range ts.nc {
+			nc.lock.Lock(t)
+		}
+	}
 	id := t.ID()
 	ts.registered[id] = false
+	if ts.overlap {
+		ts.routeRing(t, ts.perThread[id])
+		for i := len(ts.nc) - 1; i >= 0; i-- {
+			ts.nc[i].lock.Unlock(t)
+		}
+		ts.lock.Unlock(t)
+		return
+	}
 	if ts.perNode {
 		// Routed mode has no orphan list: the exiting thread's buffered
 		// entries carry their node tags, so they drain straight into the
@@ -515,6 +574,10 @@ func (ts *ThreadScan) parkOrphan(t *simt.Thread, addr uint64) {
 // per-node routing it routes every live ring and collects each node
 // with backlog (ascending node order, for determinism).
 func (ts *ThreadScan) Collect(t *simt.Thread) {
+	if ts.overlap {
+		ts.collectForced(t)
+		return
+	}
 	ts.lock.Lock(t)
 	if ts.perNode {
 		ts.routeAllRings(t)
@@ -595,6 +658,14 @@ func (ts *ThreadScan) Buffered() int {
 	for i := range ts.nodeBuf {
 		n += len(ts.nodeBuf[i]) + len(ts.nodeRemark[i])
 	}
+	for _, nc := range ts.nc {
+		for _, list := range nc.pending {
+			n += len(list.addrs)
+		}
+		for _, list := range nc.help {
+			n += len(list.addrs)
+		}
+	}
 	return n
 }
 
@@ -616,7 +687,9 @@ func (ts *ThreadScan) FlushAll(t *simt.Thread) int {
 		}
 		before := ts.stats.Reclaimed + ts.stats.HelpFreed
 		ts.lock.Lock(t)
-		if ts.perNode {
+		if ts.overlap {
+			ts.flushOverlap(t)
+		} else if ts.perNode {
 			ts.routeAllRings(t)
 			for n := range ts.nodeBuf {
 				if len(ts.nodeBuf[n])+len(ts.nodeRemark[n]) > 0 {
@@ -846,7 +919,14 @@ func (ts *ThreadScan) signalPeers(t *simt.Thread) {
 // atomic between safepoints, so a shard is claimed and prepared by
 // exactly one thread.  Reports whether this call did the work.
 func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
-	sh := &ts.shards.sub[i]
+	return ts.prepareShardIn(t, ts.shards, ts.reclaimerID, i)
+}
+
+// prepareShardIn is prepareShard over an explicit shard group: under
+// concurrent collects each node's group prepares independently, and
+// help attribution compares against that group's own reclaimer.
+func (ts *ThreadScan) prepareShardIn(t *simt.Thread, ss *shardSet, reclaimerID, i int) bool {
+	sh := &ss.sub[i]
 	if sh.ready {
 		return false
 	}
@@ -901,7 +981,7 @@ func (ts *ThreadScan) prepareShard(t *simt.Thread, i int) bool {
 	}
 	sh.ready = true
 	ts.stats.ShardsSorted++
-	if t.ID() != ts.reclaimerID {
+	if t.ID() != reclaimerID {
 		ts.stats.HelpSortedShards++
 	}
 	ts.obs.End(t)
@@ -993,6 +1073,10 @@ func (ts *ThreadScan) drainHelpQueue(t *simt.Thread) {
 // handler is also where the help protocol runs: free a unit of the
 // previous phase's queue, claim an unprepared shard to sort, then scan.
 func (ts *ThreadScan) scanHandler(t *simt.Thread) {
+	if ts.overlap {
+		ts.scanHandlerOverlap(t)
+		return
+	}
 	h0 := t.HandlerCycles()
 	ts.obs.Begin(t, obs.StageScan)
 	if ts.cfg.HelpFree {
@@ -1213,15 +1297,25 @@ func (ts *ThreadScan) probe(t *simt.Thread, w uint64) {
 	if p == 0 || !ts.sim.Heap().Contains(p) {
 		return
 	}
+	ts.probeAddr(t, ts.shards, ts.reclaimerID, p)
+}
+
+// probeAddr routes an in-heap, mask-cleaned address to its shard in ss
+// and looks it up there, marking on a hit.  Split from probe so a
+// single scan pass can probe several nodes' shard groups per word
+// (shared scan epoch under concurrent collects) while charging the
+// mask + range check only once.
+func (ts *ThreadScan) probeAddr(t *simt.Thread, ss *shardSet, reclaimerID int, p uint64) {
+	c := ts.costs()
 	si := 0
-	if ts.shards.k() > 1 {
+	if ss.k() > 1 {
 		t.Charge(c.Step) // shard routing: multiply + shift
-		si = ts.shards.route(p)
-		if !ts.shards.sub[si].ready {
-			ts.prepareShard(t, si)
+		si = ss.route(p)
+		if !ss.sub[si].ready {
+			ts.prepareShardIn(t, ss, reclaimerID, si)
 		}
 	}
-	sh := &ts.shards.sub[si]
+	sh := &ss.sub[si]
 	idx := -1
 	switch ts.cfg.Lookup {
 	case LookupBinary:

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"threadscan/internal/simt"
+)
+
+// The serialized control path (Config.SerializeCollects): per-node
+// routing kept, but every collect forced back onto the machine-wide
+// reclamation lock.  It is the A9 ablation's baseline, so it must keep
+// every guarantee of the routed pipeline while never overlapping a
+// collect phase.
+
+// TestSerializedCollectsKeepRoutedGuarantees mirrors
+// TestPerNodeRoutingReclaimsAll on the serialized path: nothing leaks,
+// both nodes run their own collects, reclaim accounting adds up — and
+// OverlappedCollects stays pinned at zero.
+func TestSerializedCollectsKeepRoutedGuarantees(t *testing.T) {
+	for _, helpFree := range []bool{false, true} {
+		s := numaSim(4, 2, 3)
+		ts := New(s, Config{
+			BufferSize: 32, Shards: 8, PerNode: true, HelpFree: helpFree,
+			SerializeCollects: true,
+		})
+		if !ts.PerNode() {
+			t.Fatal("PerNode not active on a two-node machine")
+		}
+		pinnedChurners(s, ts, 4, 300)
+		if err := s.Run(); err != nil {
+			t.Fatalf("helpFree=%v: %v", helpFree, err)
+		}
+		if lb := s.Heap().Stats().LiveBlocks; lb != 0 {
+			t.Fatalf("helpFree=%v: leaked %d blocks", helpFree, lb)
+		}
+		st := ts.Stats()
+		if st.OverlappedCollects != 0 {
+			t.Fatalf("helpFree=%v: serialized run overlapped %d collects",
+				helpFree, st.OverlappedCollects)
+		}
+		if st.Frees != st.Reclaimed+st.HelpFreed+st.DoubleRetires {
+			t.Fatalf("helpFree=%v: lost nodes: %+v", helpFree, st)
+		}
+		if st.NodeCollects[0] == 0 || st.NodeCollects[1] == 0 {
+			t.Fatalf("helpFree=%v: collects not per-node: %v", helpFree, st.NodeCollects)
+		}
+		if ts.Buffered() != 0 {
+			t.Fatalf("helpFree=%v: %d still buffered", helpFree, ts.Buffered())
+		}
+	}
+}
+
+// TestSerializedStealCollectsSkewedBacklog: with the self-collect
+// watermark set astronomically high, neither node ever trips its own
+// trigger — so the only way the backlog drains mid-run is the steal
+// branch, where a drain on one node notices the other's sub-buffer
+// past StealThreshold and collects it under the shared lock.
+func TestSerializedStealCollectsSkewedBacklog(t *testing.T) {
+	s := numaSim(4, 2, 17)
+	ts := New(s, Config{
+		BufferSize: 16, PerNode: true, SerializeCollects: true,
+		CollectWatermark: 1 << 20, StealThreshold: 64,
+	})
+	heavy := s.Spawn("heavy", func(th *simt.Thread) {
+		churn(ts, th, 400)
+		ts.FlushAll(th)
+	})
+	heavy.Pin(0)
+	light := s.Spawn("light", func(th *simt.Thread) {
+		churn(ts, th, 100)
+		ts.FlushAll(th)
+	})
+	light.Pin(1)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lb := s.Heap().Stats().LiveBlocks; lb != 0 {
+		t.Fatalf("leaked %d blocks", lb)
+	}
+	st := ts.Stats()
+	if st.StolenCollects == 0 {
+		t.Error("no stolen collect despite a backlog past the steal threshold")
+	}
+	if st.OverlappedCollects != 0 {
+		t.Errorf("serialized run overlapped %d collects", st.OverlappedCollects)
+	}
+}
+
+// TestSerializedForcedCollectDrainsAllNodes: a forced Collect on the
+// serialized path routes every live ring and collects each node with
+// backlog; a second forced Collect with nothing buffered still runs
+// one empty phase (the HelpFree carry-over tick), as in classic mode.
+func TestSerializedForcedCollectDrainsAllNodes(t *testing.T) {
+	s := numaSim(2, 2, 7)
+	ts := New(s, Config{BufferSize: 1024, PerNode: true, SerializeCollects: true})
+	w := s.Spawn("w", func(th *simt.Thread) {
+		churn(ts, th, 50) // buffered only: the 1024-slot ring never drains
+		ts.Collect(th)    // routes the ring, collects the backlogged node
+		ts.Collect(th)    // nothing routed anywhere: empty-phase fallback
+		if left := ts.FlushAll(th); left != 0 {
+			t.Errorf("FlushAll left %d", left)
+		}
+	})
+	w.Pin(0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lb := s.Heap().Stats().LiveBlocks; lb != 0 {
+		t.Fatalf("leaked %d blocks", lb)
+	}
+	st := ts.Stats()
+	if st.NodeCollects[0] < 2 {
+		t.Fatalf("expected >=2 node-0 collects (one routed, one empty), got %v", st.NodeCollects)
+	}
+	if st.Frees != 50 || st.Reclaimed+st.HelpFreed != 50 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -101,6 +101,10 @@ func (ts *ThreadScan) routeAllRings(t *simt.Thread) {
 // away, or exited threads' routed buffers — and unbounded growth there
 // is worse than a stolen, remote collect.
 func (ts *ThreadScan) maybeCollectRouted(t *simt.Thread) {
+	if ts.overlap {
+		ts.maybeCollectOverlap(t)
+		return
+	}
 	my := t.Node()
 	if len(ts.nodeBuf[my]) >= ts.nodeTrigger[my] {
 		ts.lock.Lock(t)

@@ -425,6 +425,166 @@ func WritePerNodeTable(w io.Writer, rows []PerNodeRow) error {
 	return tw.Flush()
 }
 
+// OverlapRow is one point of the concurrent-collect ablation (A9): one
+// scenario at one node count, per-node collects serialized on the
+// machine-wide reclamation lock vs running truly concurrently on the
+// per-node collect slots.
+type OverlapRow struct {
+	Scenario string
+	Nodes    int
+	Mode     string // serialized | overlapped
+
+	// CollectThroughput is reclaimed nodes — reclaimer sweeps plus
+	// scanner help-frees — per virtual second: the collect-pipeline
+	// capacity the per-node collect slots exist to scale.  With one
+	// machine-wide lock it saturates at one pipeline's rate no matter
+	// how many nodes retire; overlapped it should grow near-linearly
+	// in the node count.
+	CollectThroughput float64
+
+	Result ScenarioResult
+}
+
+// overlapScale fixes the A9 scaling geometry: per-node resources are
+// held constant (cores, threads, key range, prefill per node) while
+// the node count sweeps, so each added node brings one more retire
+// stream and one more collect pipeline.  A skewed base (any worker-mix
+// entry with no updates, i.e. numa-skewed-retire) keeps all retirement
+// on node 0 — the shape that cannot scale and shows the steal path
+// stays live; a symmetric base retires on every node.
+func overlapScale(base workload.Scenario, nodes int) workload.Scenario {
+	const (
+		coresPerNode   = 4
+		threadsPerNode = 4
+	)
+	spec := base
+	spec.Nodes = nodes
+	spec.Cores = coresPerNode * nodes
+	spec.Threads = threadsPerNode * nodes
+	spec.PinPolicy = "rr"
+	spec.KeyRange = base.KeyRange * uint64(nodes)
+	spec.Prefill = base.Prefill * nodes
+	// Keep the collect trigger well above threads x stack words so
+	// sweep and aggregate — the per-node work — dominate the scan —
+	// the all-threads work — and the pipeline is worth overlapping.
+	spec.BufferSize = 512
+	skewed := false
+	for _, m := range base.WorkerMix {
+		if m.InsertPct == 0 && m.RemovePct == 0 {
+			skewed = true
+		}
+	}
+	retire := workload.Mix{InsertPct: 40, RemovePct: 40}
+	if skewed {
+		// Node 0 retires everything; the other nodes only read.
+		mix := make([]workload.Mix, nodes)
+		mix[0] = retire
+		spec.WorkerMix = mix
+	} else {
+		// Node-symmetric retire pressure: every node drives its own
+		// collect pipeline equally.
+		spec.WorkerMix = nil
+	}
+	phases := make([]workload.Phase, len(base.Phases))
+	copy(phases, base.Phases)
+	for i := range phases {
+		phases[i].Mix = retire
+	}
+	spec.Phases = phases
+	return spec
+}
+
+// AblationOverlap contrasts serialized against concurrent per-node
+// collects across node counts (A9).  Defaults: per-node-reclaim (the
+// symmetric routing shape, where collect throughput should scale
+// near-linearly in nodes once collects overlap) and numa-skewed-retire
+// (the single-retiring-node adversary, which cannot scale and checks
+// that steal arbitration under overlap stays sound).  SweepParams pass
+// through as in AblationNUMA; Cores is ignored (the sweep fixes four
+// cores and four threads per node).
+func AblationOverlap(scenarioNames []string, nodeCounts []int, p SweepParams) ([]OverlapRow, error) {
+	if len(scenarioNames) == 0 {
+		scenarioNames = []string{"per-node-reclaim", "numa-skewed-retire"}
+	}
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4}
+	}
+	modes := []struct {
+		name      string
+		serialize bool
+	}{
+		{"serialized", true},
+		{"overlapped", false},
+	}
+	var rows []OverlapRow
+	for _, name := range scenarioNames {
+		base, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scenario %q", name)
+		}
+		if p.Duration > 0 {
+			base = base.Scale(float64(p.Duration) / 50_000_000)
+		}
+		base.DS = "stack"
+		base.Scheme = "threadscan"
+		if p.Seed != 0 {
+			base.Seed = p.Seed
+		}
+		if p.Quantum > 0 {
+			base.Quantum = p.Quantum
+		}
+		for _, n := range nodeCounts {
+			spec := overlapScale(base, n)
+			for _, mode := range modes {
+				s := spec
+				s.SerializeCollects = mode.serialize
+				r, err := RunScenario(s)
+				if err != nil {
+					return nil, err
+				}
+				ct := 0.0
+				if r.Core != nil && r.VirtualSeconds > 0 {
+					ct = float64(r.Core.Reclaimed+r.Core.HelpFreed) / r.VirtualSeconds
+				}
+				rows = append(rows, OverlapRow{
+					Scenario: name, Nodes: n, Mode: mode.name,
+					CollectThroughput: ct, Result: r,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteOverlapTable renders the A9 ablation: collect throughput per
+// node count with serialized and overlapped side by side, plus the
+// overlap and steal evidence (overlapped collect count, stolen work,
+// per-node collect balance).
+func WriteOverlapTable(w io.Writer, rows []OverlapRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# A9: concurrent per-node collects (stack/threadscan, 4 cores + 4 threads per node)")
+	fmt.Fprintln(tw, "scenario\tnodes\tmode\tcollect-throughput\tcollects\toverlapped\tstolen\tops-throughput\tnode-collects")
+	for _, row := range rows {
+		c := row.Result.Core
+		nodeCollects := "-"
+		if len(c.NodeCollects) > 0 {
+			nodeCollects = ""
+			for i, n := range c.NodeCollects {
+				if i > 0 {
+					nodeCollects += "/"
+				}
+				nodeCollects += fmt.Sprintf("%d", n)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f\t%d\t%d\t%d\t%.0f\t%s\n",
+			row.Scenario, row.Nodes, row.Mode, row.CollectThroughput,
+			c.Collects, c.OverlappedCollects,
+			c.StolenCollects+c.StolenSweeps,
+			row.Result.Throughput, nodeCollects)
+	}
+	return tw.Flush()
+}
+
 // AllocPoolRow is one point of the allocation-subsystem ablation (A8):
 // one scenario under one allocator policy x retirement-routing regime
 // on a multi-node machine.  The regimes tell the allocation-locality

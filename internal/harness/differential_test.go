@@ -36,6 +36,7 @@ func TestDifferentialSchemesAgreeSequential(t *testing.T) {
 	for _, base := range workload.Builtins() {
 		base := base
 		t.Run(base.Name, func(t *testing.T) {
+			t.Parallel()
 			spec := base
 			spec.DS = "list"
 			spec.Scheme = ""
@@ -92,49 +93,57 @@ func TestDifferentialSchemesAgreeSequential(t *testing.T) {
 // alternation invariant (net successful inserts over initial presence
 // is a bit).  Any divergence means a scheme corrupted the structure, or
 // the engine leaked scheme timing into the op streams.
+//
+// The same digest argument covers the stack and queue: their (op, key)
+// streams are equally seed-determined, and their schedule-dependent pop
+// *values* are checked against the per-element conservation ledger
+// instead (pops of a value never exceed its pushes plus prefill).
 func TestDifferentialSchemesAgreeConcurrent(t *testing.T) {
 	for _, base := range workload.Builtins() {
-		base := base
-		t.Run(base.Name, func(t *testing.T) {
-			spec := base
-			spec.DS = "list"
-			spec.Scheme = ""
-			spec.Threads = 4
-			spec.Cores = 4
-			spec.WorkerMix = nil // groups must divide the fixed 4 workers identically
-			spec.Churn = nil     // churn spawn timing is scheme-dependent
-			spec.Prefill = 128
-			spec.Seed = 23
-			spec.OpsPerWorker = 400
+		for _, dsName := range []string{"list", "stack", "queue"} {
+			base, dsName := base, dsName
+			t.Run(base.Name+"/"+dsName, func(t *testing.T) {
+				t.Parallel()
+				spec := base
+				spec.DS = dsName
+				spec.Scheme = ""
+				spec.Threads = 4
+				spec.Cores = 4
+				spec.WorkerMix = nil // groups must divide the fixed 4 workers identically
+				spec.Churn = nil     // churn spawn timing is scheme-dependent
+				spec.Prefill = 128
+				spec.Seed = 23
+				spec.OpsPerWorker = 400
 
-			var refScheme string
-			var refDigest uint64
-			for _, scheme := range differentialSchemes {
-				s := spec
-				s.Scheme = scheme
-				r, err := RunScenario(s)
-				if err != nil {
-					t.Fatalf("%s: %v", scheme, err)
+				var refScheme string
+				var refDigest uint64
+				for _, scheme := range differentialSchemes {
+					s := spec
+					s.Scheme = scheme
+					r, err := RunScenario(s)
+					if err != nil {
+						t.Fatalf("%s: %v", scheme, err)
+					}
+					if r.AccountingError != "" {
+						t.Fatalf("%s: %s", scheme, r.AccountingError)
+					}
+					if r.KeyedError != "" {
+						t.Errorf("%s: keyed semantics: %s", scheme, r.KeyedError)
+					}
+					if r.KeyedDigest == 0 {
+						t.Fatalf("%s: no keyed digest collected on an op-budget run", scheme)
+					}
+					if refScheme == "" {
+						refScheme, refDigest = scheme, r.KeyedDigest
+						continue
+					}
+					if r.KeyedDigest != refDigest {
+						t.Errorf("%s keyed digest %x diverged from %s's %x",
+							scheme, r.KeyedDigest, refScheme, refDigest)
+					}
 				}
-				if r.AccountingError != "" {
-					t.Fatalf("%s: %s", scheme, r.AccountingError)
-				}
-				if r.KeyedError != "" {
-					t.Errorf("%s: keyed semantics: %s", scheme, r.KeyedError)
-				}
-				if r.KeyedDigest == 0 {
-					t.Fatalf("%s: no keyed digest collected on an op-budget run", scheme)
-				}
-				if refScheme == "" {
-					refScheme, refDigest = scheme, r.KeyedDigest
-					continue
-				}
-				if r.KeyedDigest != refDigest {
-					t.Errorf("%s keyed digest %x diverged from %s's %x",
-						scheme, r.KeyedDigest, refScheme, refDigest)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -149,6 +158,7 @@ func TestDifferentialFullSuiteSoundness(t *testing.T) {
 	for _, base := range workload.Builtins() {
 		base := base
 		t.Run(base.Name, func(t *testing.T) {
+			t.Parallel()
 			for _, scheme := range differentialSchemes {
 				spec := base.Scale(0.125)
 				spec.DS = "stack"

@@ -65,6 +65,7 @@ type Config struct {
 	Claim          core.ClaimPolicy // threadscan shard-claim order (NUMA ablation A6)
 	PerNode        bool             // threadscan per-node routing + node-local reclaimers (A7)
 	StealThreshold int              // threadscan per-node steal threshold; 0 = core default
+	SerializeColl  bool             // threadscan: serialize per-node collects (A9 control)
 	Lookup         core.LookupKind  // threadscan scan lookup (ablation A3)
 	Batch          int              // hazard/epoch/stacktrack batch; 0 = 1024
 	SlowDelay      int64            // slow-epoch cleanup stall; 0 = 40ms
@@ -209,7 +210,8 @@ func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, e
 		ts := reclaim.NewThreadScan(sim, core.Config{
 			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
 			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim,
-			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold, Obs: cfg.Obs})
+			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold,
+			SerializeCollects: cfg.SerializeColl, Obs: cfg.Obs})
 		return ts, ts.Core(), nil
 	case "stacktrack":
 		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{

@@ -52,22 +52,26 @@ func TestFlatModelMatchesCapturedBaseline(t *testing.T) {
 		if !want[[3]string{b.Scenario, b.DS, b.Scheme}] {
 			continue
 		}
-		spec, ok := workload.ByName(b.Scenario)
-		if !ok {
-			t.Fatalf("baseline names unknown scenario %q", b.Scenario)
-		}
-		spec.DS, spec.Scheme, spec.Seed = b.DS, b.Scheme, 1
-		r, err := RunScenario(spec)
-		if err != nil {
-			t.Fatalf("%s/%s/%s: %v", b.Scenario, b.DS, b.Scheme, err)
-		}
-		if r.Ops != b.Ops || r.ElapsedCycles != b.ElapsedCycles ||
-			r.TraceHash != b.TraceHash || r.FinalSize != b.FinalSize {
-			t.Errorf("%s/%s/%s diverged from captured baseline:\n  ops %d != %d\n  cycles %d != %d\n  trace %x != %x\n  final %d != %d",
-				b.Scenario, b.DS, b.Scheme, r.Ops, b.Ops, r.ElapsedCycles, b.ElapsedCycles,
-				r.TraceHash, b.TraceHash, r.FinalSize, b.FinalSize)
-		}
 		replayed++
+		b := b
+		t.Run(b.Scenario+"/"+b.DS+"/"+b.Scheme, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := workload.ByName(b.Scenario)
+			if !ok {
+				t.Fatalf("baseline names unknown scenario %q", b.Scenario)
+			}
+			spec.DS, spec.Scheme, spec.Seed = b.DS, b.Scheme, 1
+			r, err := RunScenario(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != b.Ops || r.ElapsedCycles != b.ElapsedCycles ||
+				r.TraceHash != b.TraceHash || r.FinalSize != b.FinalSize {
+				t.Errorf("diverged from captured baseline:\n  ops %d != %d\n  cycles %d != %d\n  trace %x != %x\n  final %d != %d",
+					r.Ops, b.Ops, r.ElapsedCycles, b.ElapsedCycles,
+					r.TraceHash, b.TraceHash, r.FinalSize, b.FinalSize)
+			}
+		})
 	}
 	if replayed != len(want) {
 		t.Fatalf("replayed %d of %d baseline rows — regenerate BENCH_baseline.json?", replayed, len(want))

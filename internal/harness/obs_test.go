@@ -50,28 +50,31 @@ func TestObservabilityOffIsBitIdentical(t *testing.T) {
 		if !want[[3]string{b.Scenario, b.DS, b.Scheme}] {
 			continue
 		}
-		spec, ok := workload.ByName(b.Scenario)
-		if !ok {
-			t.Fatalf("baseline names unknown scenario %q", b.Scenario)
-		}
-		spec.DS, spec.Scheme, spec.Seed = b.DS, b.Scheme, 1
-		for mode, mk := range recorders {
-			r, err := RunScenarioRecorded(spec, mk())
-			if err != nil {
-				t.Fatalf("%s/%s/%s (%s): %v", b.Scenario, b.DS, b.Scheme, mode, err)
-			}
-			if r.Ops != b.Ops || r.ElapsedCycles != b.ElapsedCycles ||
-				r.TraceHash != b.TraceHash || r.FinalSize != b.FinalSize {
-				t.Errorf("%s/%s/%s with %s recorder diverged from baseline:\n  ops %d != %d\n  cycles %d != %d\n  trace %x != %x\n  final %d != %d",
-					b.Scenario, b.DS, b.Scheme, mode, r.Ops, b.Ops,
-					r.ElapsedCycles, b.ElapsedCycles, r.TraceHash, b.TraceHash,
-					r.FinalSize, b.FinalSize)
-			}
-			if r.Latency == nil {
-				t.Errorf("%s/%s/%s (%s): Latency summary missing", b.Scenario, b.DS, b.Scheme, mode)
-			}
-		}
 		replayed++
+		for mode, mk := range recorders {
+			b, mk := b, mk
+			t.Run(b.Scenario+"/"+b.DS+"/"+b.Scheme+"/"+mode, func(t *testing.T) {
+				t.Parallel()
+				spec, ok := workload.ByName(b.Scenario)
+				if !ok {
+					t.Fatalf("baseline names unknown scenario %q", b.Scenario)
+				}
+				spec.DS, spec.Scheme, spec.Seed = b.DS, b.Scheme, 1
+				r, err := RunScenarioRecorded(spec, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Ops != b.Ops || r.ElapsedCycles != b.ElapsedCycles ||
+					r.TraceHash != b.TraceHash || r.FinalSize != b.FinalSize {
+					t.Errorf("diverged from baseline:\n  ops %d != %d\n  cycles %d != %d\n  trace %x != %x\n  final %d != %d",
+						r.Ops, b.Ops, r.ElapsedCycles, b.ElapsedCycles,
+						r.TraceHash, b.TraceHash, r.FinalSize, b.FinalSize)
+				}
+				if r.Latency == nil {
+					t.Error("Latency summary missing")
+				}
+			})
+		}
 	}
 	if replayed != len(want) {
 		t.Fatalf("replayed %d of %d baseline rows — regenerate BENCH_baseline.json?", replayed, len(want))

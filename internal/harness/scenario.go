@@ -225,9 +225,10 @@ type scenarioRun struct {
 
 	startAt  map[int]int64 // thread id -> measured-phase start
 	finishAt map[int]int64
-	traces   map[int]uint64               // thread id -> op-trace digest
-	keyed    map[int]*workload.KeyedTrace // thread id -> per-key history (op-budget runs)
-	mixOf    map[int]*workload.Mix        // thread id -> role-group mix override (nil = phase mix)
+	traces   map[int]uint64                // thread id -> op-trace digest
+	keyed    map[int]*workload.KeyedTrace  // thread id -> per-key history (op-budget runs)
+	ledgers  map[int]*workload.ValueLedger // thread id -> per-element push/pop counts (op-budget LIFO/FIFO runs)
+	mixOf    map[int]*workload.Mix         // thread id -> role-group mix override (nil = phase mix)
 
 	sampler *footprintSampler
 }
@@ -242,11 +243,18 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 	rng := th.RNG()
 	tr := workload.NewTrace()
 	var keyed *workload.KeyedTrace
+	var ledger *workload.ValueLedger
+	vt, hasValues := r.target.(workload.ValueTarget)
 	if r.spec.OpsPerWorker > 0 {
 		// Op-budget runs also keep per-key histories: the stream is
 		// seed-determined, so the canonicalized histories support exact
 		// cross-scheme comparison even on concurrent runs.
 		keyed = workload.NewKeyedTrace(th.ID())
+		if hasValues {
+			// LIFO/FIFO targets additionally track removes by *value* —
+			// the element a pop observes — for the conservation check.
+			ledger = workload.NewValueLedger()
+		}
 	}
 	phase := 0
 	override := r.mixOf[th.ID()]
@@ -262,7 +270,21 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 		}
 		op := mix.Pick(rng.Intn(100))
 		opStart := th.Now()
-		ok := r.target.Apply(th, op, key)
+		var ok bool
+		if ledger != nil {
+			var val uint64
+			val, ok = vt.ApplyValue(th, op, key)
+			switch op {
+			case workload.OpInsert:
+				ledger.Push(key)
+			case workload.OpRemove:
+				if ok {
+					ledger.Pop(val)
+				}
+			}
+		} else {
+			ok = r.target.Apply(th, op, key)
+		}
 		r.rec.Observe(th, obs.StageOp, th.Now()-opStart)
 		tr.Record(op, key, ok)
 		if keyed != nil {
@@ -303,6 +325,9 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 	r.traces[th.ID()] = tr.Sum()
 	if keyed != nil {
 		r.keyed[th.ID()] = keyed
+	}
+	if ledger != nil {
+		r.ledgers[th.ID()] = ledger
 	}
 }
 
@@ -360,6 +385,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		Claim:          claim,
 		PerNode:        spec.PerNode,
 		StealThreshold: spec.StealThreshold,
+		SerializeColl:  spec.SerializeCollects,
 		DelayVictim:    1,
 		Obs:            rec,
 	}
@@ -385,6 +411,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		Nodes:      spec.Nodes,
 		Quantum:    quantum,
 		Seed:       spec.Seed,
+		Chaos:      spec.Chaos,
 		StackWords: 256,
 		MaxCycles:  watchdog,
 		Heap: simmem.Config{
@@ -414,6 +441,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		finishAt: make(map[int]int64),
 		traces:   make(map[int]uint64),
 		keyed:    make(map[int]*workload.KeyedTrace),
+		ledgers:  make(map[int]*workload.ValueLedger),
 		mixOf:    make(map[int]*workload.Mix),
 		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
 	}
@@ -546,6 +574,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 	}
 	var sums []uint64
 	var keyedTraces []*workload.KeyedTrace
+	var valueLedgers []*workload.ValueLedger
 	var minStart, maxFinish int64
 	first := true
 	for _, th := range sim.Threads() {
@@ -565,6 +594,9 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		if kt, ok := r.keyed[th.ID()]; ok {
 			keyedTraces = append(keyedTraces, kt)
 		}
+		if vl, ok := r.ledgers[th.ID()]; ok {
+			valueLedgers = append(valueLedgers, vl)
+		}
 	}
 	res.TraceHash = workload.CombineTraces(sums)
 	if spec.OpsPerWorker > 0 {
@@ -581,6 +613,17 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 			res.KeyedError = summary.CheckSetSemantics(func(key uint64) bool {
 				return prefilled[key]
 			})
+		case "stack", "queue":
+			// Initial contents are the prefill stripe values, *with*
+			// multiplicity — the stripe's integer division can land two
+			// prefill slots on the same value, and LIFO/FIFO structures
+			// hold duplicates.
+			p0 := make(map[uint64]int, spec.Prefill)
+			for k := 0; k < spec.Prefill; k++ {
+				p0[ds.MinKey+uint64(k)*spec.KeyRange/uint64(spec.Prefill)]++
+			}
+			res.KeyedError = workload.MergeValueLedgers(valueLedgers).
+				CheckConservation(func(v uint64) int { return p0[v] })
 		}
 	}
 	res.ElapsedCycles = maxFinish - minStart

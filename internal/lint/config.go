@@ -94,8 +94,8 @@ func DefaultConfig() *Config {
 
 		RecorderTypes: []string{"threadscan/internal/obs.Recorder"},
 		RecorderHotMethods: []string{
-			"Begin", "End", "Observe", "Window", "Instant", "Alloc",
-			"Free", "RemoteLineFill", "SignalSent", "RemoteFlush",
+			"Begin", "BeginNode", "End", "Observe", "Window", "Instant",
+			"Alloc", "Free", "RemoteLineFill", "SignalSent", "RemoteFlush",
 			"InboxDrain",
 		},
 		RecorderCallerPackages: []string{

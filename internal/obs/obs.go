@@ -122,11 +122,15 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Span is one completed traced span on one thread.
+// Span is one completed traced span on one thread.  Node attributes
+// the span to a NUMA node's collect pipeline (-1 when the span is not
+// node-scoped); with concurrent per-node collects, overlapping
+// lifecycle spans are told apart by it.
 type Span struct {
 	Stage Stage
 	Start int64 // virtual cycles
 	Dur   int64
+	Node  int
 }
 
 // Instant is one point event on one thread.
@@ -138,6 +142,7 @@ type Instant struct {
 type openSpan struct {
 	stage Stage
 	start int64
+	node  int
 }
 
 type stageStat struct {
@@ -230,7 +235,18 @@ func (r *Recorder) Begin(t *simt.Thread, s Stage) {
 		return
 	}
 	tr := r.rec(t)
-	tr.open = append(tr.open, openSpan{s, t.Now()})
+	tr.open = append(tr.open, openSpan{s, t.Now(), -1})
+}
+
+// BeginNode opens a span of stage s attributed to a NUMA node's
+// collect pipeline.  Identical to Begin otherwise; concurrent per-node
+// collects use it so overlapping lifecycle spans carry their owner.
+func (r *Recorder) BeginNode(t *simt.Thread, s Stage, node int) {
+	if r == nil || !r.enabled {
+		return
+	}
+	tr := r.rec(t)
+	tr.open = append(tr.open, openSpan{s, t.Now(), node})
 }
 
 // End closes t's most recent open span at t's current virtual time,
@@ -250,7 +266,7 @@ func (r *Recorder) End(t *simt.Thread) {
 	dur := t.Now() - sp.start
 	tr.observe(sp.stage, dur)
 	if r.trace && stageTraced[sp.stage] {
-		tr.spans = append(tr.spans, Span{sp.stage, sp.start, dur})
+		tr.spans = append(tr.spans, Span{sp.stage, sp.start, dur, sp.node})
 	}
 }
 
@@ -274,7 +290,7 @@ func (r *Recorder) Window(t *simt.Thread, s Stage, start, dur int64) {
 	tr := r.rec(t)
 	tr.observe(s, dur)
 	if r.trace && stageTraced[s] {
-		tr.spans = append(tr.spans, Span{s, start, dur})
+		tr.spans = append(tr.spans, Span{s, start, dur, -1})
 	}
 }
 
@@ -429,6 +445,27 @@ func (r *Recorder) StageMax(s Stage) int64 {
 		}
 	}
 	return m
+}
+
+// Spans returns every stored span of stage s across all threads, in
+// thread-id order (recording order within a thread).  Only traced
+// recorders store spans; analysis/test helper, not a hot path.
+func (r *Recorder) Spans(s Stage) []Span {
+	if r == nil || !r.enabled {
+		return nil
+	}
+	var out []Span
+	for _, tr := range r.threads {
+		if tr == nil {
+			continue
+		}
+		for _, sp := range tr.spans {
+			if sp.Stage == s {
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
 }
 
 // MaxPause returns the longest any thread spent blocked inside a scan

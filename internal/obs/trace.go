@@ -85,11 +85,15 @@ func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
 				Args: map[string]any{"name": fmt.Sprintf("%s (t%d)", tr.name, tr.id)},
 			})
 			for _, sp := range tr.spans {
-				events = append(events, traceEvent{
+				ev := traceEvent{
 					Name: sp.Stage.String(), Cat: "stage", Ph: "X",
 					Ts: usec(sp.Start), Dur: usec(sp.Dur),
 					Pid: pid, Tid: tr.id,
-				})
+				}
+				if sp.Node >= 0 {
+					ev.Args = map[string]any{"node": sp.Node}
+				}
+				events = append(events, ev)
 			}
 			for _, in := range tr.instants {
 				events = append(events, traceEvent{

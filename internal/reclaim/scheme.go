@@ -127,6 +127,11 @@ type Stats struct {
 	StolenCollects   uint64
 	StolenSweeps     uint64
 
+	// OverlappedCollects counts collect phases that began while another
+	// node's collect was already in flight — nonzero only with PerNode
+	// concurrent collects (SerializeCollects off).
+	OverlappedCollects uint64
+
 	// Allocation-subsystem counters (machine-wide, mirrored from the
 	// simulated heap's per-node pools by the ThreadScan adapter like
 	// RemoteLineFills; zero elsewhere and on a single-pool heap).

@@ -65,27 +65,28 @@ func (s *ThreadScan) Stats() Stats {
 	c := s.ts.Stats()
 	hs := s.sim.Heap().Stats()
 	return Stats{
-		Retired:           c.Frees,
-		MaxPauseCycles:    s.obs.MaxPause(),
-		Freed:             c.Reclaimed + c.HelpFreed + c.DoubleRetires,
-		Pending:           uint64(s.ts.Buffered()),
-		ReclaimPasses:     c.Collects,
-		Shards:            s.ts.Shards(),
-		ShardsSorted:      c.ShardsSorted,
-		HelpSorted:        c.HelpSortedShards,
-		HelpSwept:         c.HelpSweptShards,
-		DoubleRetires:     c.DoubleRetires,
-		LocalShardClaims:  c.LocalShardClaims,
-		RemoteShardClaims: c.RemoteShardClaims,
-		RemoteLineFills:   s.sim.Stats().RemoteLineFills,
-		SweepRemoteFills:  c.SweepRemoteFills,
-		NodeCollects:      c.NodeCollects,
-		NodeReclaimed:     c.NodeReclaimed,
-		StolenCollects:    c.StolenCollects,
-		StolenSweeps:      c.StolenSweeps,
-		AllocRemoteFills:  s.sim.Stats().AllocRemoteFills,
-		RemoteAllocs:      hs.RemoteAllocs,
-		HomeFrees:         hs.HomeFrees,
-		RemoteFrees:       hs.RemoteFrees,
+		Retired:            c.Frees,
+		MaxPauseCycles:     s.obs.MaxPause(),
+		Freed:              c.Reclaimed + c.HelpFreed + c.DoubleRetires,
+		Pending:            uint64(s.ts.Buffered()),
+		ReclaimPasses:      c.Collects,
+		Shards:             s.ts.Shards(),
+		ShardsSorted:       c.ShardsSorted,
+		HelpSorted:         c.HelpSortedShards,
+		HelpSwept:          c.HelpSweptShards,
+		DoubleRetires:      c.DoubleRetires,
+		LocalShardClaims:   c.LocalShardClaims,
+		RemoteShardClaims:  c.RemoteShardClaims,
+		RemoteLineFills:    s.sim.Stats().RemoteLineFills,
+		SweepRemoteFills:   c.SweepRemoteFills,
+		NodeCollects:       c.NodeCollects,
+		NodeReclaimed:      c.NodeReclaimed,
+		StolenCollects:     c.StolenCollects,
+		StolenSweeps:       c.StolenSweeps,
+		OverlappedCollects: c.OverlappedCollects,
+		AllocRemoteFills:   s.sim.Stats().AllocRemoteFills,
+		RemoteAllocs:       hs.RemoteAllocs,
+		HomeFrees:          hs.HomeFrees,
+		RemoteFrees:        hs.RemoteFrees,
 	}
 }

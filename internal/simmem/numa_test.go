@@ -109,6 +109,44 @@ func TestLocalallocFallsBackWhenRegionExhausted(t *testing.T) {
 	}
 }
 
+// TestLocalallocReclaimsPagesAfterSpike: the region-exhaustion
+// follow-on fix.  A transient spike of one size class carves up a
+// node's whole region; once the spike drains back to the central free
+// lists, allocations of *another* class on that node must recycle those
+// pages locally instead of falling back to remote pools forever.
+func TestLocalallocReclaimsPagesAfterSpike(t *testing.T) {
+	// 8 pages, 2 nodes: 4 pages per region.
+	h := twoNodeHeap(PolicyLocal, 8*PageWords)
+	var spike []uint64
+	for i := 0; i < 4*PageWords/16; i++ {
+		spike = append(spike, h.AllocOn(0, 16*WordSize))
+	}
+	if got := h.Stats().RemoteAllocs; got != 0 {
+		t.Fatalf("spike itself went remote: RemoteAllocs = %d", got)
+	}
+	for _, a := range spike {
+		h.FreeToNode(0, a)
+	}
+	// Node 0's bump pointer is exhausted and its 16-word list holds the
+	// whole region; a different class must still be served locally.
+	for i := 0; i < 4*PageWords/64; i++ {
+		a := h.AllocOn(0, 64*WordSize)
+		if got := h.HomeNode(a); got != 0 {
+			t.Fatalf("post-spike alloc %d homed on node %d, want 0", i, got)
+		}
+	}
+	s := h.Stats()
+	if s.RemoteAllocs != 0 {
+		t.Fatalf("RemoteAllocs = %d after the spike drained, want 0", s.RemoteAllocs)
+	}
+	if s.PagesReclaimed != 4 {
+		t.Fatalf("PagesReclaimed = %d, want 4 (the whole drained region)", s.PagesReclaimed)
+	}
+	if got := h.MisplacedBlocks(); got != 0 {
+		t.Fatalf("MisplacedBlocks = %d after reclaim", got)
+	}
+}
+
 func TestMembindFailsWhenNodeExhausted(t *testing.T) {
 	// Same shape as the localalloc fallback test, but membind must OOM
 	// on node 0 even though node 1 still has both its pages.

@@ -111,10 +111,11 @@ type Stats struct {
 	CentralFrees uint64 // frees that overflowed a cache back to central
 
 	// Per-node pool traffic (zero on a single-pool heap).
-	RemoteAllocs  uint64 `json:"remote_allocs,omitempty"`  // blocks handed to a node other than their home
-	HomeFrees     uint64 `json:"home_frees,omitempty"`     // frees routed into the freeing node's own pool
-	RemoteFrees   uint64 `json:"remote_frees,omitempty"`   // frees routed cross-node via a remote-free inbox
-	RemoteDrained uint64 `json:"remote_drained,omitempty"` // inbox blocks reclassified by their home pool
+	RemoteAllocs   uint64 `json:"remote_allocs,omitempty"`   // blocks handed to a node other than their home
+	HomeFrees      uint64 `json:"home_frees,omitempty"`      // frees routed into the freeing node's own pool
+	RemoteFrees    uint64 `json:"remote_frees,omitempty"`    // frees routed cross-node via a remote-free inbox
+	RemoteDrained  uint64 `json:"remote_drained,omitempty"`  // inbox blocks reclassified by their home pool
+	PagesReclaimed uint64 `json:"pages_reclaimed,omitempty"` // wholly-free pages recycled into a new class after region exhaustion
 }
 
 // Heap is a simulated word-addressable heap.
@@ -453,7 +454,52 @@ func (h *Heap) classReady(p *pool, cls int, carve bool) bool {
 		h.carvePage(p, cls, p.node)
 		return true
 	}
+	if carve && h.reclaimPage(p, cls) {
+		return true
+	}
 	return false
+}
+
+// reclaimPage recycles one wholly-free page out of p's central free
+// lists into class cls.  It only runs once the region's bump pointer is
+// exhausted: without it, a node whose region was carved up by a
+// transient spike of one size class would serve every later request for
+// another class from a *remote* pool forever — a permanent locality
+// poisoning that a real TCMalloc's page heap never exhibits.  The
+// lowest-addressed whole page wins, deterministically.  Blocks parked
+// in thread caches keep their page unreclaimed, so nothing live moves.
+func (h *Heap) reclaimPage(p *pool, cls int) bool {
+	counts := make(map[int]int)
+	best := -1
+	for c := range p.central {
+		whole := PageWords / classWords[c]
+		for _, a := range p.central[c].blocks {
+			page := int((a - h.cfg.Base) / WordSize / PageWords)
+			counts[page]++
+			if counts[page] == whole && (best == -1 || page < best) {
+				best = page
+			}
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	oldCls := int(h.pagemap[best]) - 1
+	kept := p.central[oldCls].blocks[:0]
+	for _, a := range p.central[oldCls].blocks {
+		if int((a-h.cfg.Base)/WordSize/PageWords) != best {
+			kept = append(kept, a)
+		}
+	}
+	p.central[oldCls].blocks = kept
+	h.pagemap[best] = uint16(cls + 1)
+	w := classWords[cls]
+	base := h.cfg.Base + uint64(best*PageWords)*WordSize
+	for k := PageWords/w - 1; k >= 0; k-- {
+		p.central[cls].blocks = append(p.central[cls].blocks, base+uint64(k*w)*WordSize)
+	}
+	h.stats.PagesReclaimed++
+	return true
 }
 
 // drainRemote reclassifies every inbox block into the owner's central

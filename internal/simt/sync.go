@@ -148,11 +148,20 @@ func (m *Mutex) Locked() bool { return m.locked }
 // call site, exactly as a real ACK flag write would cost), while Await
 // burns the owner's cycles in Pause spin-waits — the reclaimer-side
 // wait the paper's Figure 4 charges to oversubscription.
+// With concurrent collects, several handshakes can be armed at once
+// against the same signal number; signal coalescing then delivers ONE
+// handler run for several owners' sends.  ExpectFrom/Wants/AckFrom
+// track *which* threads each owner is waiting on, so a handler can
+// snapshot every handshake that wants it and satisfy them all with a
+// single scan pass (one scan epoch shared across overlapping
+// collects).  The anonymous Expect/Ack pair remains for the serial
+// pipeline and stays bit-identical to it.
 type Handshake struct {
-	sim  *Sim
-	name string
-	need int
-	got  int
+	sim   *Sim
+	name  string
+	need  int
+	got   int
+	wants []bool // thread-id-indexed: owner awaits this thread's ack
 }
 
 // NewHandshake creates a handshake; name appears in diagnostics.
@@ -161,10 +170,41 @@ func (s *Sim) NewHandshake(name string) *Handshake {
 }
 
 // Arm resets the handshake for a new phase: zero expected, zero acked.
-func (h *Handshake) Arm() { h.need, h.got = 0, 0 }
+func (h *Handshake) Arm() {
+	h.need, h.got = 0, 0
+	for i := range h.wants {
+		h.wants[i] = false
+	}
+}
 
 // Expect registers n additional parties the owner will wait for.
 func (h *Handshake) Expect(n int) { h.need += n }
+
+// ExpectFrom registers one specific party the owner will wait for, so
+// that party's handler can discover the expectation via Wants.
+func (h *Handshake) ExpectFrom(t *Thread) {
+	id := t.ID()
+	for id >= len(h.wants) {
+		h.wants = append(h.wants, false)
+	}
+	h.wants[id] = true
+	h.need++
+}
+
+// Wants reports whether the owner is waiting on an ack from t.
+func (h *Handshake) Wants(t *Thread) bool {
+	id := t.ID()
+	return id < len(h.wants) && h.wants[id]
+}
+
+// AckFrom records t's acknowledgement of an ExpectFrom expectation.
+// Bookkeeping only, like Ack; the caller charges its own ACK store.
+func (h *Handshake) AckFrom(t *Thread) {
+	if id := t.ID(); id < len(h.wants) {
+		h.wants[id] = false
+	}
+	h.got++
+}
 
 // Ack records one party's acknowledgement.  Bookkeeping only — the
 // caller charges the visible-store cost of its ACK itself.

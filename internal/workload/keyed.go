@@ -143,7 +143,9 @@ func (s *KeyedSummary) NetInserts() int {
 // p0 is the key's final presence, and presence is a bit.  It returns a
 // description of the first few violating keys, or "" when every key is
 // consistent.  Only meaningful for set-semantics structures (list,
-// hash, skiplist); stacks and queues do not key their removes.
+// hash, skiplist); stacks and queues track their removes by *value*
+// instead (ValueLedger below), since which element a pop observes is
+// schedule-dependent.
 func (s *KeyedSummary) CheckSetSemantics(present func(key uint64) bool) string {
 	type bad struct {
 		key      uint64
@@ -177,4 +179,77 @@ func (s *KeyedSummary) CheckSetSemantics(present func(key uint64) bool) string {
 		msg += fmt.Sprintf(" key %d (p0=%d net=%+d over %d ops)", b.key, b.p0, b.net, b.attempts)
 	}
 	return msg
+}
+
+// Value-tracked remove histories: the LIFO/FIFO analog of the set
+// ledger above.  A stack or queue does not key its removes — which
+// element a pop observes depends on the schedule, so pop values can
+// never join the cross-scheme digest.  What *is* schedule-independent
+// is conservation: an element can only come out of the structure as
+// many times as it went in.  ValueLedger counts pushes and observed pop
+// values per element; a reclamation bug that frees a node twice (or
+// resurrects a freed node into the structure) surfaces as some value
+// popping more often than initial presence plus pushes allow.
+
+// ValueLedger accumulates one worker's per-element push/pop counts on a
+// LIFO/FIFO target.
+type ValueLedger struct {
+	pushes map[uint64]int
+	pops   map[uint64]int
+}
+
+// NewValueLedger returns an empty per-element ledger.
+func NewValueLedger() *ValueLedger {
+	return &ValueLedger{pushes: make(map[uint64]int), pops: make(map[uint64]int)}
+}
+
+// Push records one element pushed with value v.
+func (l *ValueLedger) Push(v uint64) { l.pushes[v]++ }
+
+// Pop records one successful pop that observed value v.
+func (l *ValueLedger) Pop(v uint64) { l.pops[v]++ }
+
+// MergeValueLedgers folds per-worker ledgers into one machine-wide
+// ledger (conservation is a global property — one worker's pop may
+// observe another worker's push).
+func MergeValueLedgers(ledgers []*ValueLedger) *ValueLedger {
+	m := NewValueLedger()
+	for _, l := range ledgers {
+		if l == nil {
+			continue
+		}
+		for v, n := range l.pushes {
+			m.pushes[v] += n
+		}
+		for v, n := range l.pops {
+			m.pops[v] += n
+		}
+	}
+	return m
+}
+
+// CheckConservation verifies pops(v) <= initial(v) + pushes(v) for
+// every observed pop value, where initial reports how many elements of
+// value v the structure held before the measured window.  It returns a
+// description of the first few violating values, or "" when every
+// element is conserved.
+func (l *ValueLedger) CheckConservation(initial func(v uint64) int) string {
+	vals := make([]uint64, 0, len(l.pops))
+	for v := range l.pops {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var bads []string
+	for _, v := range vals {
+		if cap := initial(v) + l.pushes[v]; l.pops[v] > cap {
+			bads = append(bads, fmt.Sprintf("value %d popped %d times, only %d ever present", v, l.pops[v], cap))
+			if len(bads) >= 4 {
+				break
+			}
+		}
+	}
+	if len(bads) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d value(s) violate element conservation: %s", len(bads), bads[0])
 }

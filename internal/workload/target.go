@@ -44,6 +44,18 @@ type Target interface {
 	Size() int
 }
 
+// ValueTarget is the value-reporting extension of Target for LIFO/FIFO
+// structures: removes return *which* element came off, which is
+// schedule-dependent and therefore excluded from the keyed digest — but
+// exactly what the per-element conservation ledger (ValueLedger) needs.
+type ValueTarget interface {
+	Target
+	// ApplyValue is Apply, additionally reporting the element value the
+	// operation observed: the pushed value for OpInsert, the removed
+	// element for OpRemove, the front/top element for OpLookup.
+	ApplyValue(th *simt.Thread, op Op, key uint64) (uint64, bool)
+}
+
 // TargetFor adapts a data structure to the Target interface.
 func TargetFor(s any) (Target, error) {
 	switch v := s.(type) {
@@ -85,16 +97,18 @@ type stackTarget struct{ s *ds.Stack }
 func (t stackTarget) Name() string { return t.s.Name() }
 func (t stackTarget) Size() int    { return t.s.Len() }
 func (t stackTarget) Apply(th *simt.Thread, op Op, key uint64) bool {
+	_, ok := t.ApplyValue(th, op, key)
+	return ok
+}
+func (t stackTarget) ApplyValue(th *simt.Thread, op Op, key uint64) (uint64, bool) {
 	switch op {
 	case OpInsert:
 		t.s.Push(th, key)
-		return true
+		return key, true
 	case OpRemove:
-		_, ok := t.s.Pop(th)
-		return ok
+		return t.s.Pop(th)
 	default:
-		_, ok := t.s.Peek(th)
-		return ok
+		return t.s.Peek(th)
 	}
 }
 
@@ -103,15 +117,17 @@ type queueTarget struct{ q *ds.Queue }
 func (t queueTarget) Name() string { return t.q.Name() }
 func (t queueTarget) Size() int    { return t.q.Len() }
 func (t queueTarget) Apply(th *simt.Thread, op Op, key uint64) bool {
+	_, ok := t.ApplyValue(th, op, key)
+	return ok
+}
+func (t queueTarget) ApplyValue(th *simt.Thread, op Op, key uint64) (uint64, bool) {
 	switch op {
 	case OpInsert:
 		t.q.Enqueue(th, key)
-		return true
+		return key, true
 	case OpRemove:
-		_, ok := t.q.Dequeue(th)
-		return ok
+		return t.q.Dequeue(th)
 	default:
-		_, ok := t.q.Peek(th)
-		return ok
+		return t.q.Peek(th)
 	}
 }

@@ -183,6 +183,12 @@ type Scenario struct {
 	// core's default (4x the per-node collect trigger).
 	StealThreshold int
 
+	// SerializeCollects forces PerNode collects back onto one
+	// machine-wide reclamation lock (the pre-overlap pipeline) instead
+	// of the default truly concurrent per-node collects — the A9
+	// ablation's control.  Inert without PerNode.
+	SerializeCollects bool
+
 	// AllocPolicy selects the simulated allocator's NUMA placement
 	// policy — the numactl contrast:
 	//
@@ -213,6 +219,13 @@ type Scenario struct {
 	Quantum     int64
 	HeapWords   int
 	SampleEvery int64 // footprint sampling interval (0 = duration/64)
+
+	// Chaos enables the scheduler's seeded adversarial mode: eligible
+	// threads are picked uniformly at random (still deterministically,
+	// from the seed) instead of FIFO, and quanta jitter.  For stress
+	// tests hunting interleaving-dependent protocol bugs; results stay
+	// reproducible per seed but differ from the FIFO schedule.
+	Chaos bool
 }
 
 // TotalDuration is the measured window: the sum of phase durations.

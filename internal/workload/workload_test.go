@@ -294,3 +294,34 @@ func TestTopologyKnobValidation(t *testing.T) {
 		t.Fatalf("numa-split topology: %d/%s/%d mixes", numa.Nodes, numa.PinPolicy, len(numa.WorkerMix))
 	}
 }
+
+// TestValueLedgerConservation: the per-element LIFO/FIFO ledger — a
+// value may pop as often as prefill plus pushes allow, one more is a
+// violation (the signature of a double free resurfacing an element).
+func TestValueLedgerConservation(t *testing.T) {
+	a, b := NewValueLedger(), NewValueLedger()
+	a.Push(7)
+	a.Pop(7)
+	b.Push(7)
+	b.Pop(7)
+	b.Pop(9) // covered by prefill only
+	m := MergeValueLedgers([]*ValueLedger{a, nil, b})
+	if msg := m.CheckConservation(func(v uint64) int {
+		if v == 9 {
+			return 1
+		}
+		return 0
+	}); msg != "" {
+		t.Fatalf("conserved history flagged: %s", msg)
+	}
+	// One pop too many on value 7: two pushes, three pops, no prefill.
+	m.Pop(7)
+	msg := m.CheckConservation(func(uint64) int { return 0 })
+	if msg == "" {
+		t.Fatal("over-pop not flagged")
+	}
+	// ...and value 9 now also exceeds its zero prefill.
+	if want := "2 value(s)"; len(msg) == 0 || msg[:len(want)] != want {
+		t.Fatalf("violation message %q does not count both values", msg)
+	}
+}
