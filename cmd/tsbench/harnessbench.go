@@ -92,6 +92,7 @@ func runHarnessBench(args []string) {
 		{"ablation-pernode", func() error { _, err := harness.AblationPerNode(nil, params); return err }},
 		{"ablation-allocpool", func() error { _, err := harness.AblationAllocPool(nil, params); return err }},
 		{"ablation-overlap", func() error { _, err := harness.AblationOverlap(nil, nil, params); return err }},
+		{"ablation-robust", func() error { _, err := harness.AblationRobust("", nil, params); return err }},
 	}
 	for _, a := range ablations {
 		timed(a.name, a.run)

@@ -11,6 +11,7 @@
 //	tsbench -fig 4 -ds all -csv fig4.csv    # all Figure 4 panels + CSV
 //	tsbench -fig 3 -ds hash -scale paper    # paper-exact workload (slow!)
 //	tsbench -ablation stall                 # A4: errant-thread contrast
+//	tsbench -ablation robust                # A10: bounded garbage under preemption
 //	tsbench -single -ds skiplist -scheme threadscan -threads 16 -cores 8
 //
 //	tsbench scenarios -list                 # name every built-in scenario
@@ -43,7 +44,7 @@ func main() {
 	}
 	var (
 		figNum   = flag.Int("fig", 0, "figure to reproduce: 3 or 4")
-		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode | allocpool | overlap")
+		ablation = flag.String("ablation", "", "ablation to run: buffer | lookup | scancost | stall | shards | numa | pernode | allocpool | overlap | robust")
 		single   = flag.Bool("single", false, "run a single experiment and dump its stats")
 		dsName   = flag.String("ds", "all", "data structure: list | hash | skiplist | all")
 		scheme   = flag.String("scheme", "threadscan", "scheme for -single")
@@ -57,7 +58,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write figure results as CSV to this file")
 		buffer   = flag.Int("buffer", 0, "per-thread delete buffer for -single (0 = 1024)")
 		batch    = flag.Int("batch", 0, "reclaim batch for -single (0 = 1024)")
-		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa/pernode/allocpool/overlap (comma-separated except shards)")
+		ablScen  = flag.String("ablation-scenario", "", "scenario(s) for -ablation shards/numa/pernode/allocpool/overlap/robust (comma-separated except shards and robust)")
 		shardKs  = flag.String("shard-counts", "", "comma-separated K values for -ablation shards (default 1,2,4,8,16)")
 		trace    = flag.String("trace", "", "tracing is a scenarios feature; see: tsbench scenarios -trace out.json")
 	)
@@ -65,6 +66,15 @@ func main() {
 
 	if err := validateRootTrace(*trace, *ablation); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// An unknown scheme is a usage error at parse time, not a failure
+	// after the run starts — same policy as scenario and topology names.
+	if !harness.KnownScheme(*scheme) {
+		fmt.Fprintf(os.Stderr, "tsbench: unknown scheme %q (known: %s)\n",
+			*scheme, strings.Join(harness.SchemeNames(), ", "))
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -273,6 +283,14 @@ func runAblation(kind string, params harness.SweepParams, ablScenario string, sh
 			fatal(err)
 		}
 		if err := harness.WriteOverlapTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case "robust":
+		rows, err := harness.AblationRobust(ablScenario, nil, params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteRobustTable(os.Stdout, rows); err != nil {
 			fatal(err)
 		}
 	default:

@@ -76,6 +76,14 @@ func runScenarios(args []string) {
 		usageErr(err)
 	}
 
+	// Unknown scheme names fail the same way, before the grid runs.
+	for _, scheme := range strings.Split(*schemes, ",") {
+		if !harness.KnownScheme(strings.TrimSpace(scheme)) {
+			usageErr(fmt.Errorf("unknown scheme %q (known: %s)",
+				strings.TrimSpace(scheme), strings.Join(harness.SchemeNames(), ", ")))
+		}
+	}
+
 	// Validate the topology flags against every selected scenario up
 	// front: a -nodes that exceeds a scenario's core count (or a bad
 	// policy string) is a usage error at parse time, not a mid-grid

@@ -77,3 +77,13 @@ func validate(th *simt.Thread) bool {
 	th.Load(rVal, rPrev, 0)
 	return th.Reg(rVal) == th.Reg(rCurr)
 }
+
+// stamp records a freshly allocated node's birth with schemes that key
+// reclamation decisions on allocation order (reclaim.BirthStamper).
+// Called right after every node Thread.Alloc, before the node can be
+// published; a no-op for every other scheme.
+func stamp(th *simt.Thread, sc reclaim.Scheme, reg int) {
+	if bs, ok := sc.(reclaim.BirthStamper); ok {
+		bs.NoteAlloc(th, th.Reg(reg))
+	}
+}

@@ -172,6 +172,7 @@ func (c *listCore) insert(th *simt.Thread, headLink, key, val uint64) bool {
 		}
 		if !allocated {
 			th.Alloc(rNode, c.nodeBytes)
+			stamp(th, c.scheme, rNode)
 			th.StoreImm(rNode, listKey, key)
 			th.StoreImm(rNode, listVal, val)
 			allocated = true

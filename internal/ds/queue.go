@@ -84,6 +84,7 @@ func (q *Queue) Enqueue(th *simt.Thread, val uint64) {
 	q.scheme.BeginOp(th)
 	disc := disciplined(q.scheme)
 	th.Alloc(rNode, q.nodeBytes)
+	stamp(th, q.scheme, rNode)
 	th.StoreImm(rNode, qnNext, 0)
 	th.StoreImm(rNode, qnVal, val)
 	for {

@@ -257,6 +257,7 @@ func (sl *SkipList) Insert(th *simt.Thread, key uint64) bool {
 		}
 		// Splice in a new node.
 		th.Alloc(rNode, slNodeBytes)
+		stamp(th, sl.scheme, rNode)
 		th.StoreImm(rNode, slKey, key)
 		th.StoreImm(rNode, slTop, uint64(topLevel))
 		th.StoreImm(rNode, slMarked, 0)

@@ -70,6 +70,7 @@ func (s *Stack) NodeBytes() int { return s.nodeBytes }
 func (s *Stack) Push(th *simt.Thread, val uint64) {
 	s.scheme.BeginOp(th)
 	th.Alloc(rNode, s.nodeBytes)
+	stamp(th, s.scheme, rNode)
 	th.StoreImm(rNode, stkVal, val)
 	for {
 		th.SetReg(rPrev, s.topLink)

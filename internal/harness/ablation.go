@@ -695,14 +695,18 @@ func WriteAllocPoolTable(w io.Writer, rows []AllocPoolRow) error {
 // application stall under Epoch vs ThreadScan.
 type StallRow struct {
 	Scheme string
-	Result Result
+	Result ScenarioResult
 }
 
-// AblationStall injects a periodically stalled thread (thread 0 runs
-// one empty operation stalled for stallCycles every stallEvery ops) and
-// compares schemes.  Epoch reclaimers inherit the stall; ThreadScan's
-// signal handler runs *inside* the stalled thread, so collects finish
-// regardless — the paper's central liveness claim (§1.2, §2).
+// AblationStall injects a periodically stalled thread (the first worker
+// runs one empty operation stalled for stallCycles every stallEvery
+// ops) and compares schemes.  Epoch reclaimers inherit the stall;
+// ThreadScan's signal handler runs *inside* the stalled thread, so
+// collects finish regardless — the paper's central liveness claim
+// (§1.2, §2).  The stall is an *application* stall (StallKind "work"):
+// the victim still reaches safepoints, so signals are delivered
+// mid-stall.  Runs through the scenario engine and its declarative
+// stall knobs — the same path the adversarial builtins use.
 func AblationStall(p SweepParams, threads int, stallEvery int, stallCycles int64) ([]StallRow, error) {
 	p.fill(3)
 	if threads <= 0 {
@@ -714,19 +718,37 @@ func AblationStall(p SweepParams, threads int, stallEvery int, stallCycles int64
 	if stallCycles <= 0 {
 		stallCycles = 2_000_000 // 2ms
 	}
+	duration := p.Duration
+	if duration <= 0 {
+		duration = 20_000_000
+	}
 	var rows []StallRow
 	for _, scheme := range []string{"epoch", "threadscan"} {
-		cfg := baseConfig("list", p)
-		cfg.Scheme = scheme
-		cfg.Threads = threads
-		cfg.Cores = p.Cores
-		cfg.StallEvery = stallEvery
-		cfg.StallCycles = stallCycles
-		// Small batches so reclamation happens often enough to overlap
-		// the stall windows.
-		cfg.Batch = 32
-		cfg.BufferSize = 64
-		r, err := Run(cfg)
+		spec := workload.Scenario{
+			Name:    "a4-errant-stall",
+			DS:      "list",
+			Scheme:  scheme,
+			Threads: threads,
+			Cores:   p.Cores,
+			// The paper's list shape (§6), as baseConfig sizes it.
+			KeyRange: 2048,
+			Prefill:  1024,
+			Seed:     p.Seed,
+			Quantum:  p.Quantum,
+			Phases: []workload.Phase{{
+				Name: "stalled", Duration: duration,
+				Mix: workload.Mix{InsertPct: 10, RemovePct: 10},
+			}},
+			StallEvery:   stallEvery,
+			StallCycles:  stallCycles,
+			StallVictims: 1,
+			StallKind:    "work",
+			// Small batches so reclamation happens often enough to
+			// overlap the stall windows.
+			Batch:      32,
+			BufferSize: 64,
+		}
+		r, err := RunScenario(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -738,13 +760,94 @@ func AblationStall(p SweepParams, threads int, stallEvery int, stallCycles int64
 // WriteStallTable renders the A4 experiment.
 func WriteStallTable(w io.Writer, rows []StallRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "# A4: errant stalled thread (list; thread 0 stalls mid-operation)")
-	fmt.Fprintln(tw, "scheme\tthroughput\treclaim_passes\tgrace_wait_cycles\tfreed")
+	fmt.Fprintln(tw, "# A4: errant stalled thread (list; first worker stalls mid-operation)")
+	fmt.Fprintln(tw, "scheme\tthroughput\treclaim_passes\tgrace_wait_cycles\tfreed\tpeak_garbage")
 	for _, row := range rows {
-		st := row.Result.Scheme
-		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\n",
+		st := row.Result.SchemeStats
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\t%d\n",
 			row.Scheme, row.Result.Throughput, st.ReclaimPasses,
-			st.GraceWaitCycles, st.Freed)
+			st.GraceWaitCycles, st.Freed,
+			row.Result.Footprint.ExactPeakRetiredNodes)
+	}
+	return tw.Flush()
+}
+
+// RobustRow is one point of the robustness ablation (A10): one scheme
+// at one stall length on the stalled-scanner adversary.
+type RobustRow struct {
+	Scheme      string
+	StallCycles int64
+	Result      ScenarioResult
+}
+
+// AblationRobust is A10: the bounded-garbage contrast the robust
+// family exists for.  A preempted reader (deaf to signals, parked
+// mid-operation) holds its position for increasing stall lengths while
+// the other workers churn; epoch's grace periods and ThreadScan's scan
+// barrier both inherit the stall, so their exact peak retired garbage
+// grows with it, while hyaline's per-batch reference counts let every
+// batch the victim never entered free underneath it — its peak stays
+// bounded, independent of stall length.  Default subject: the
+// stalled-scanner builtin; SweepParams pass through as in
+// AblationShards (Duration normalizes against the 50ms CLI default,
+// Seed and Quantum apply directly; Cores is ignored — the scenario
+// fixes its geometry).  The stall lengths are absolute (not scaled by
+// Duration).
+func AblationRobust(scenarioName string, stallCycles []int64, p SweepParams) ([]RobustRow, error) {
+	if scenarioName == "" {
+		scenarioName = "stalled-scanner"
+	}
+	if len(stallCycles) == 0 {
+		stallCycles = []int64{1_000_000, 2_000_000, 6_000_000}
+	}
+	base, ok := workload.ByName(scenarioName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown scenario %q", scenarioName)
+	}
+	if p.Duration > 0 {
+		base = base.Scale(float64(p.Duration) / 50_000_000)
+	}
+	base.DS = "list"
+	if p.Seed != 0 {
+		base.Seed = p.Seed
+	}
+	if p.Quantum > 0 {
+		base.Quantum = p.Quantum
+	}
+	var rows []RobustRow
+	for _, scheme := range []string{"epoch", "threadscan", "hyaline"} {
+		for _, stall := range stallCycles {
+			spec := base
+			spec.Scheme = scheme
+			spec.StallCycles = stall
+			r, err := RunScenario(spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RobustRow{Scheme: scheme, StallCycles: stall, Result: r})
+		}
+	}
+	return rows, nil
+}
+
+// WriteRobustTable renders the A10 ablation: the exact peak retired
+// garbage (the robustness metric) against stall length per scheme,
+// with the sampled peak alongside to show the aliasing the exact
+// counter fixes.
+func WriteRobustTable(w io.Writer, rows []RobustRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(rows) > 0 {
+		fmt.Fprintf(tw, "# A10: bounded garbage under preemption (%s, list)\n", rows[0].Result.Name)
+	}
+	fmt.Fprintln(tw, "scheme\tstall_cycles\tthroughput\texact_peak_nodes\texact_peak_words\tsampled_peak_nodes\tfreed\tpending")
+	for _, row := range rows {
+		st := row.Result.SchemeStats
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%d\t%d\t%d\t%d\t%d\n",
+			row.Scheme, row.StallCycles, row.Result.Throughput,
+			row.Result.Footprint.ExactPeakRetiredNodes,
+			row.Result.Footprint.ExactPeakRetiredWords,
+			row.Result.Footprint.PeakRetiredNodes,
+			st.Freed, st.Pending)
 	}
 	return tw.Flush()
 }

@@ -6,9 +6,10 @@ import (
 	"threadscan/internal/workload"
 )
 
-// The cross-scheme differential harness: five reclamation scheme
-// families (leaky, hazard, epoch, threadscan, stacktrack — slow-epoch
-// is an epoch configuration), every builtin scenario, one seed.
+// The cross-scheme differential harness: every registered reclamation
+// scheme family (leaky, hazard, epoch, threadscan, stacktrack, hyaline
+// — slow-epoch is an epoch configuration), every builtin scenario, one
+// seed.
 //
 // Two layers:
 //
@@ -26,8 +27,11 @@ import (
 //     violation.  On top of that: no accounting skew, no leaked
 //     registrations, and retired == freed + pending for every scheme.
 
-// differentialSchemes are the five scheme families under test.
-var differentialSchemes = []string{"leaky", "hazard", "epoch", "threadscan", "stacktrack"}
+// differentialSchemes are the scheme families under test, derived from
+// the harness registry so a newly registered family cannot silently
+// miss the suite (slow-epoch is excluded there as an epoch
+// configuration, not a family).
+var differentialSchemes = DifferentialSchemeNames()
 
 // TestDifferentialSchemesAgreeSequential: serialized op-budget variant
 // of every builtin scenario; all five schemes must agree bit-for-bit

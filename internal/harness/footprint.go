@@ -39,6 +39,21 @@ type Footprint struct {
 	PeakRetiredNodes uint64 `json:"peak_retired_nodes"`
 	PeakRetiredWords uint64 `json:"peak_retired_words"` // peak unreclaimed garbage
 
+	// ExactPeakRetiredNodes/Words are the scheme-maintained running
+	// peak (reclaim.Stats.PeakRetired), updated at every Retire and
+	// free rather than on the sampling cadence — the headline
+	// robustness metric.  The sampled peaks above can only undercount
+	// it: a retire burst fully reclaimed within one SampleEvery window
+	// never appears in the series.  Zero for Leaky, whose graveyard is
+	// counted in Leaked (and in the sampled series) instead.
+	ExactPeakRetiredNodes uint64 `json:"exact_peak_retired_nodes"`
+	ExactPeakRetiredWords uint64 `json:"exact_peak_retired_words"`
+
+	// PeakUndercountNodes reconciles the two: how far the sampled peak
+	// fell short of the exact one (exact - sampled, clamped at zero) —
+	// the aliasing error the sampling cadence introduced on this run.
+	PeakUndercountNodes uint64 `json:"peak_undercount_nodes,omitempty"`
+
 	// FinalRetiredNodes is the garbage still held after teardown flush:
 	// 0 for every sound reclaiming scheme, the whole graveyard for
 	// Leaky.
@@ -85,10 +100,17 @@ func (f *footprintSampler) run(th *simt.Thread) {
 	}
 	f.sample(th)
 	f.fp.FinalRetiredNodes = f.garbage()
+	if f.fp.ExactPeakRetiredNodes > f.fp.PeakRetiredNodes {
+		f.fp.PeakUndercountNodes = f.fp.ExactPeakRetiredNodes - f.fp.PeakRetiredNodes
+	}
 }
 
 func (f *footprintSampler) garbage() uint64 {
 	st := f.scheme.Stats()
+	if st.PeakRetired > f.fp.ExactPeakRetiredNodes {
+		f.fp.ExactPeakRetiredNodes = st.PeakRetired
+		f.fp.ExactPeakRetiredWords = st.PeakRetired * uint64(f.fp.NodeWords)
+	}
 	if st.Freed > st.Retired {
 		// Scheme accounting skew: record it (the run surfaces it as an
 		// error) and clamp rather than wrap.

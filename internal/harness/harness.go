@@ -29,7 +29,7 @@ import (
 // Config describes one experiment (one data point).
 type Config struct {
 	DS     string // list | hash | skiplist
-	Scheme string // leaky | hazard | epoch | slow-epoch | threadscan | stacktrack
+	Scheme string // any name in SchemeNames (leaky | hazard | ... | hyaline)
 
 	Threads int
 	Cores   int
@@ -190,35 +190,107 @@ type Result struct {
 	WallTime time.Duration // host time spent simulating (meta)
 }
 
+// schemeEntry is one registered reclamation scheme family: its name and
+// the constructor binding it to a simulator under a harness Config.
+type schemeEntry struct {
+	name string
+	// differential marks families compared by the cross-scheme
+	// differential suite.  slow-epoch is excluded: it is the epoch
+	// family with an injected stall, not a distinct discipline.
+	differential bool
+	build        func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan)
+}
+
+// schemeRegistry is the single source of truth for scheme names.
+// BuildScheme, SchemeNames, the differential suite, and the CLI
+// -scheme validation all derive from it; adding a family here is the
+// only plumbing a new scheme needs.  Order is presentation order.
+var schemeRegistry = []schemeEntry{
+	{name: "leaky", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewLeaky(sim), nil
+		}},
+	{name: "hazard", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewHazard(sim, reclaim.HazardConfig{
+				Slots: ds.SkipListHazardSlots, Batch: cfg.Batch, Obs: cfg.Obs}), nil
+		}},
+	{name: "epoch", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewEpoch(sim, reclaim.EpochConfig{
+				Batch: cfg.Batch, Obs: cfg.Obs}), nil
+		}},
+	{name: "slow-epoch",
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewEpoch(sim, reclaim.EpochConfig{
+				Batch: cfg.Batch, DelayCycles: cfg.SlowDelay,
+				DelayVictim: cfg.DelayVictim, Obs: cfg.Obs}), nil
+		}},
+	{name: "threadscan", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			ts := reclaim.NewThreadScan(sim, core.Config{
+				BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
+				Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim,
+				PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold,
+				SerializeCollects: cfg.SerializeColl, Obs: cfg.Obs})
+			return ts, ts.Core()
+		}},
+	{name: "stacktrack", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{
+				SegmentLen: cfg.SegmentLen, Batch: cfg.Batch, Obs: cfg.Obs}), nil
+		}},
+	{name: "hyaline", differential: true,
+		build: func(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan) {
+			return reclaim.NewHyaline(sim, reclaim.HyalineConfig{
+				Batch: cfg.Batch, Obs: cfg.Obs}), nil
+		}},
+}
+
+// SchemeNames returns every registered scheme name in registry order.
+func SchemeNames() []string {
+	names := make([]string, len(schemeRegistry))
+	for i, e := range schemeRegistry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// DifferentialSchemeNames returns the families the cross-scheme
+// differential suite compares (every registered family except scheme
+// *configurations* such as slow-epoch).
+func DifferentialSchemeNames() []string {
+	var names []string
+	for _, e := range schemeRegistry {
+		if e.differential {
+			names = append(names, e.name)
+		}
+	}
+	return names
+}
+
+// KnownScheme reports whether name is a registered scheme, letting
+// CLIs reject typos at flag-parse time instead of mid-sweep.
+func KnownScheme(name string) bool {
+	for _, e := range schemeRegistry {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // BuildScheme constructs the named scheme bound to sim, returning the
 // inner ThreadScan core when applicable.
 func BuildScheme(sim *simt.Sim, cfg Config) (reclaim.Scheme, *core.ThreadScan, error) {
-	switch cfg.Scheme {
-	case "leaky":
-		return reclaim.NewLeaky(sim), nil, nil
-	case "hazard":
-		return reclaim.NewHazard(sim, reclaim.HazardConfig{
-			Slots: ds.SkipListHazardSlots, Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
-	case "epoch":
-		return reclaim.NewEpoch(sim, reclaim.EpochConfig{
-			Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
-	case "slow-epoch":
-		return reclaim.NewEpoch(sim, reclaim.EpochConfig{
-			Batch: cfg.Batch, DelayCycles: cfg.SlowDelay,
-			DelayVictim: cfg.DelayVictim, Obs: cfg.Obs}), nil, nil
-	case "threadscan":
-		ts := reclaim.NewThreadScan(sim, core.Config{
-			BufferSize: cfg.BufferSize, HelpFree: cfg.HelpFree, Lookup: cfg.Lookup,
-			Shards: cfg.Shards, CollectWatermark: cfg.Watermark, Claim: cfg.Claim,
-			PerNode: cfg.PerNode, StealThreshold: cfg.StealThreshold,
-			SerializeCollects: cfg.SerializeColl, Obs: cfg.Obs})
-		return ts, ts.Core(), nil
-	case "stacktrack":
-		return reclaim.NewStackTrack(sim, reclaim.StackTrackConfig{
-			SegmentLen: cfg.SegmentLen, Batch: cfg.Batch, Obs: cfg.Obs}), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
+	for _, e := range schemeRegistry {
+		if e.name == cfg.Scheme {
+			sc, tsCore := e.build(sim, cfg)
+			return sc, tsCore, nil
+		}
 	}
+	return nil, nil, fmt.Errorf("harness: unknown scheme %q (known: %v)",
+		cfg.Scheme, SchemeNames())
 }
 
 // BuildSet constructs the named structure.

@@ -217,9 +217,9 @@ func TestAblationStallShowsContrast(t *testing.T) {
 	for _, r := range rows {
 		switch r.Scheme {
 		case "epoch":
-			epochWait = r.Result.Scheme.GraceWaitCycles
+			epochWait = r.Result.SchemeStats.GraceWaitCycles
 		case "threadscan":
-			tsWait = r.Result.Scheme.GraceWaitCycles
+			tsWait = r.Result.SchemeStats.GraceWaitCycles
 		}
 	}
 	if tsWait != 0 {

@@ -229,6 +229,7 @@ type scenarioRun struct {
 	keyed    map[int]*workload.KeyedTrace  // thread id -> per-key history (op-budget runs)
 	ledgers  map[int]*workload.ValueLedger // thread id -> per-element push/pop counts (op-budget LIFO/FIFO runs)
 	mixOf    map[int]*workload.Mix         // thread id -> role-group mix override (nil = phase mix)
+	stalls   map[int]bool                  // thread id -> errant stall victim
 
 	sampler *footprintSampler
 }
@@ -292,6 +293,30 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 		}
 		th.AddOps(1)
 	}
+	sinceStall := 0
+	maybeStall := func() {
+		if !r.stalls[th.ID()] {
+			return
+		}
+		sinceStall++
+		if sinceStall < r.spec.StallEvery {
+			return
+		}
+		sinceStall = 0
+		// One errant, empty operation stalled mid-bracket (A4 and the
+		// adversarial builtins).  No rng draw, no trace record, no op
+		// count: the injection is invisible to the op-stream digests
+		// and to the op budget.
+		r.scheme.BeginOp(th)
+		if r.spec.StallKind == "preempt" {
+			// A descheduled thread: Charge crosses no safepoint, so the
+			// victim is deaf to scan signals until the stall completes.
+			th.Charge(r.spec.StallCycles)
+		} else {
+			th.Work(r.spec.StallCycles)
+		}
+		r.scheme.EndOp(th)
+	}
 	if budget := r.spec.OpsPerWorker; budget > 0 {
 		total := r.spec.TotalDuration()
 		for i := 0; i < budget; i++ {
@@ -308,6 +333,7 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 				phaseOps = 1
 			}
 			doOp(float64(int64(i)-startOp) / float64(phaseOps))
+			maybeStall()
 		}
 	} else {
 		for th.Now() < deadline {
@@ -320,6 +346,7 @@ func (r *scenarioRun) work(th *simt.Thread, base, deadline int64) {
 				phaseStart += r.phaseEnd[phase-1]
 			}
 			doOp(float64(th.Now()-phaseStart) / float64(r.spec.Phases[phase].Duration))
+			maybeStall()
 		}
 	}
 	r.traces[th.ID()] = tr.Sum()
@@ -401,6 +428,11 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 	watchdog := total*int64(workers+4)*4 + 4_000_000_000
 	if spec.OpsPerWorker > 0 {
 		watchdog += int64(spec.OpsPerWorker) * int64(workers+4) * 100_000
+		if spec.StallCycles > 0 {
+			// Op-budget victims still take every injected stall.
+			stallsPer := int64(spec.OpsPerWorker / spec.StallEvery)
+			watchdog += (stallsPer + 1) * spec.StallCycles * int64(spec.StallVictims+1)
+		}
 	}
 	allocPolicy, err := simmem.ParsePolicy(spec.AllocPolicy)
 	if err != nil {
@@ -443,6 +475,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		keyed:    make(map[int]*workload.KeyedTrace),
 		ledgers:  make(map[int]*workload.ValueLedger),
 		mixOf:    make(map[int]*workload.Mix),
+		stalls:   make(map[int]bool),
 		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
 	}
 	var cum int64
@@ -496,6 +529,9 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		}
 		if m := spec.WorkerGroupMix(i); m != nil {
 			r.mixOf[th.ID()] = m
+		}
+		if spec.StallCycles > 0 && i < spec.StallVictims {
+			r.stalls[th.ID()] = true
 		}
 	}
 

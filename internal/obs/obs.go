@@ -55,6 +55,9 @@ const (
 	// StageGraceWait is time blocked waiting for a grace period
 	// (epoch/stacktrack analogue of the handshake wait).
 	StageGraceWait
+	// StageAdjust is a robust scheme's EndOp reference-adjustment pass
+	// over the batches the finishing operation entered (hyaline).
+	StageAdjust
 
 	numStages
 )
@@ -62,6 +65,7 @@ const (
 var stageNames = [numStages]string{
 	"op", "retire", "alloc", "collect", "signal", "scan",
 	"handshake-wait", "sort", "sweep", "free", "grace-wait",
+	"adjust",
 }
 
 // stageTraced marks the stages whose completed spans are stored when
@@ -70,7 +74,7 @@ var stageNames = [numStages]string{
 var stageTraced = [numStages]bool{
 	StageCollect: true, StageSignal: true, StageScan: true,
 	StageHandshake: true, StageSort: true, StageSweep: true,
-	StageFree: true, StageGraceWait: true,
+	StageFree: true, StageGraceWait: true, StageAdjust: true,
 }
 
 // String returns the stage's trace name.

@@ -1,0 +1,102 @@
+package reclaim
+
+import (
+	"testing"
+
+	"threadscan/internal/simt"
+)
+
+// The scheme contract: the clauses every family must satisfy so the
+// harness (flush-before-final-sample, footprint accounting, teardown)
+// can treat schemes interchangeably.  Table-driven over every family —
+// including Leaky, whose graveyard gives the clauses a different but
+// equally fixed shape:
+//
+//  1. Flush idempotence at quiescence: with no operation in flight, a
+//     second Flush returns 0 for every reclaiming scheme (and reports
+//     the same unchanged graveyard for Leaky) — Flush must not
+//     manufacture work, double-free, or leave a remainder it would
+//     only surrender on a later call.
+//  2. Zero accounting skew: Freed never exceeds Retired.  The footprint
+//     sampler clamps and flags exactly this (Footprint.AccountingSkew);
+//     the contract pins it at the source.
+//  3. Teardown-under-churn cleanliness: after workers that spawned,
+//     retired, and exited mid-run (orphan paths) have quiesced and one
+//     Flush has run, nothing is left — no pending nodes, no live heap
+//     blocks (Leaky: exactly the graveyard), Retired == Freed + Leaked.
+func TestSchemeContract(t *testing.T) {
+	const workers, perWorker = 3, 30
+	families := append([]string{"leaky"}, reclaimingSchemes...)
+	for _, name := range families {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := testSim(3, 42)
+			sc := makeScheme(name, s)
+			done := 0
+			s.Spawn("spawner", func(th *simt.Thread) {
+				// Staggered generations: later workers churn while
+				// earlier ones have already exited (orphaned buffers).
+				for w := 0; w < workers; w++ {
+					s.SpawnFrom(th, "churned", func(w *simt.Thread) {
+						churn(sc, w, perWorker)
+						done++
+					})
+					th.Work(25_000)
+				}
+			})
+			var first, second = -1, -1
+			s.Spawn("closer", func(th *simt.Thread) {
+				for done < workers {
+					th.Pause()
+				}
+				th.Work(100_000) // let exit hooks land; quiesce
+				first = sc.Flush(th)
+				second = sc.Flush(th)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			st := sc.Stats()
+			total := uint64(workers * perWorker)
+			if st.Retired != total {
+				t.Fatalf("retired %d, want %d", st.Retired, total)
+			}
+
+			// Clause 2: zero accounting skew.
+			if st.Freed > st.Retired {
+				t.Errorf("accounting skew: freed %d > retired %d", st.Freed, st.Retired)
+			}
+
+			live := s.Heap().Stats().LiveBlocks
+			if name == "leaky" {
+				// Leaky's shape: the graveyard is reported, stable
+				// across flushes, fully leaked, and never freed.
+				if first != int(total) || second != first {
+					t.Errorf("graveyard reports: first %d second %d, want both %d", first, second, total)
+				}
+				if st.Leaked != total || st.Freed != 0 || live != total {
+					t.Errorf("graveyard: leaked %d freed %d live %d, want %d/0/%d",
+						st.Leaked, st.Freed, live, total, total)
+				}
+				return
+			}
+
+			// Clause 1: Flush idempotence at quiescence.
+			if first != 0 {
+				t.Errorf("first quiescent Flush left %d", first)
+			}
+			if second != 0 {
+				t.Errorf("second Flush returned %d, want 0", second)
+			}
+
+			// Clause 3: teardown cleanliness.
+			if st.Freed != total || st.Pending != 0 {
+				t.Errorf("teardown: freed %d pending %d, want %d/0", st.Freed, st.Pending, total)
+			}
+			if live != 0 {
+				t.Errorf("leaked %d heap blocks", live)
+			}
+		})
+	}
+}

@@ -153,6 +153,7 @@ func (e *Epoch) Retire(t *simt.Thread, addr uint64) {
 	start := t.Now()
 	t.Charge(e.sim.Config().Costs.Store)
 	e.stats.Retired++
+	e.stats.notePeak()
 	e.retired[id] = append(e.retired[id], addr&^7)
 	e.cfg.Obs.Observe(t, obs.StageRetire, t.Now()-start)
 }

@@ -125,6 +125,7 @@ func (h *Hazard) Retire(t *simt.Thread, addr uint64) {
 	c := h.sim.Config().Costs
 	t.Charge(c.Store)
 	h.stats.Retired++
+	h.stats.notePeak()
 	id := t.ID()
 	h.retired[id] = append(h.retired[id], addr)
 	if len(h.retired[id])+len(h.orphans) >= h.cfg.Batch {

@@ -1,0 +1,124 @@
+package reclaim
+
+import (
+	"testing"
+
+	"threadscan/internal/simt"
+)
+
+// TestHyalineStalledReaderPinsOnlyOldBatches is the robustness
+// semantics at unit scale: a reader stalled mid-operation pins exactly
+// the batches containing nodes born at or before its reservation's
+// upper bound.  Batches of newer garbage free underneath it — the
+// property that bounds its damage — while (a) the node it still
+// dereferences stays live (the checked heap panics otherwise) and (b)
+// a node that was never birth-stamped defaults to era 0, conservatively
+// ancient, and pins too.
+func TestHyalineStalledReaderPinsOnlyOldBatches(t *testing.T) {
+	s := testSim(2, 13)
+	h := NewHyaline(s, HyalineConfig{Batch: 4})
+
+	var oldAddr uint64
+	ready, release, readerDone := false, false, false
+	s.Spawn("reader", func(th *simt.Thread) {
+		h.BeginOp(th)
+		oldAddr = allocNode(th, 0, 55)
+		h.NoteAlloc(th, oldAddr)
+		h.Protect(th, 0, 0) // hi = era 0
+		ready = true
+		for !release { // stalled mid-operation, still dereferencing
+			th.Load(1, 0, 0)
+		}
+		th.SetReg(0, 0)
+		th.SetReg(1, 0)
+		h.EndOp(th) // adjustment pass: drops the refs, pinned batches free
+		readerDone = true
+	})
+
+	// stamped allocates, birth-stamps, and retires one node inside its
+	// own operation — the fresh-garbage generator.
+	stamped := func(th *simt.Thread, n int) {
+		for i := 0; i < n; i++ {
+			h.BeginOp(th)
+			a := allocNode(th, 15, uint64(i))
+			th.SetReg(15, 0)
+			h.NoteAlloc(th, a)
+			h.Retire(th, a)
+			h.EndOp(th)
+		}
+	}
+
+	s.Spawn("churner", func(th *simt.Thread) {
+		for !ready {
+			th.Pause()
+		}
+		// Batch 1: the reader's node (unlinked) plus stamped padding, all
+		// born at era 0 = the reader's hi.  Seals with minBirth 0: the
+		// reader enters it, so it stays pending.
+		h.BeginOp(th)
+		h.Retire(th, oldAddr)
+		for i := 0; i < 3; i++ {
+			a := allocNode(th, 15, uint64(i))
+			th.SetReg(15, 0)
+			h.NoteAlloc(th, a)
+			h.Retire(th, a)
+		}
+		h.EndOp(th)
+
+		// Batches 2-4: twelve nodes born after the first seal advanced
+		// the era past the reader's reservation.  Each seals with
+		// minBirth > hi, skips the stalled reader, and frees at our own
+		// EndOp — garbage does not accumulate behind the stall.
+		stamped(th, 12)
+		st := h.Stats()
+		if st.Freed < 12 {
+			t.Errorf("fresh batches did not free under the stall: freed %d", st.Freed)
+		}
+		if st.Pending != 4 {
+			t.Errorf("pending %d, want the one pinned batch of 4", st.Pending)
+		}
+		if !s.Heap().LiveAt(oldAddr) {
+			t.Error("reader's node freed while its reservation covers it")
+		}
+
+		// Batch 5: nodes never handed to NoteAlloc default to birth era
+		// 0 — conservatively ancient — so their batch pins as well.
+		h.BeginOp(th)
+		var unstamped uint64
+		for i := 0; i < 4; i++ {
+			unstamped = allocNode(th, 15, uint64(i))
+			th.SetReg(15, 0)
+			h.Retire(th, unstamped)
+		}
+		h.EndOp(th)
+		if got := h.Stats().Pending; got != 8 {
+			t.Errorf("pending %d, want 8 (pinned old batch + unstamped batch)", got)
+		}
+		if !s.Heap().LiveAt(unstamped) {
+			t.Error("unstamped node freed despite conservative birth era")
+		}
+
+		release = true
+		for !readerDone {
+			th.Pause()
+		}
+		// The reader's EndOp adjustment freed everything it pinned.
+		if left := h.Flush(th); left != 0 {
+			t.Errorf("flush left %d", left)
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.Retired != st.Freed || st.Pending != 0 {
+		t.Fatalf("retired %d freed %d pending %d", st.Retired, st.Freed, st.Pending)
+	}
+	if st.GraceWaits != 0 || st.GraceWaitCycles != 0 {
+		t.Fatalf("robust scheme recorded grace waits: %+v", st)
+	}
+	if live := s.Heap().Stats().LiveBlocks; live != 0 {
+		t.Fatalf("leaked %d blocks", live)
+	}
+}

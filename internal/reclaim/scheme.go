@@ -33,6 +33,11 @@ const (
 	// DisciplinePublish: publish traversal state periodically, no
 	// validation (StackTrack-style split operations).
 	DisciplinePublish
+	// DisciplineEra: refresh a per-thread era reservation on each
+	// traversal step and re-validate the link, like hazard pointers but
+	// with a plain store (no fence) — interval/era-based schemes
+	// (Hyaline-style robust reclamation).
+	DisciplineEra
 )
 
 func (d Discipline) String() string {
@@ -43,6 +48,8 @@ func (d Discipline) String() string {
 		return "hazard"
 	case DisciplinePublish:
 		return "publish"
+	case DisciplineEra:
+		return "era"
 	default:
 		return "unknown"
 	}
@@ -84,6 +91,16 @@ type Scheme interface {
 	Stats() Stats
 }
 
+// BirthStamper is an optional extension: schemes that key reclamation
+// decisions on allocation order (interval/era-based robust schemes)
+// implement it, and data-structure code stamps every freshly allocated
+// node right after Thread.Alloc.  A node that was never stamped — e.g.
+// a host-allocated sentinel later retired through the scheme — must be
+// treated conservatively (as old as the scheme has ever seen).
+type BirthStamper interface {
+	NoteAlloc(t *simt.Thread, addr uint64)
+}
+
 // Stats aggregates scheme activity.  Fields not applicable to a scheme
 // stay zero.
 type Stats struct {
@@ -95,6 +112,14 @@ type Stats struct {
 	GraceWaits      uint64 // blocking waits for other threads
 	GraceWaitCycles int64  // virtual cycles spent in those waits
 	Protects        uint64 // Protect calls (hazard/publish traffic)
+
+	// PeakRetired is the exact running maximum of retired-but-unfreed
+	// nodes, updated at every Retire and free — the Hyaline-style
+	// robustness metric.  Unlike the footprint sampler's peak it cannot
+	// alias between sample instants (a burst reclaimed within one
+	// SampleEvery window still registers).  Zero for Leaky, whose
+	// graveyard is counted in Leaked instead.
+	PeakRetired uint64
 
 	// MaxPauseCycles is the longest any thread spent blocked in a scan
 	// handler, at the scan-barrier handshake, or in a grace-period wait.
@@ -145,6 +170,17 @@ type Stats struct {
 	RemoteAllocs     uint64
 	HomeFrees        uint64
 	RemoteFrees      uint64
+}
+
+// notePeak records the current retired-minus-freed backlog into
+// PeakRetired.  Schemes call it after every Retire: the backlog only
+// grows at retire time, so its maxima land exactly there.  Host-side
+// bookkeeping only — never charges virtual cycles, so enabling the
+// metric cannot perturb a captured baseline.
+func (s *Stats) notePeak() {
+	if p := s.Retired - s.Freed; p > s.PeakRetired {
+		s.PeakRetired = p
+	}
 }
 
 // maxThreadID sizes per-thread state arrays.  Schemes grow their

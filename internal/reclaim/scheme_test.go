@@ -57,13 +57,15 @@ func makeScheme(name string, sim *simt.Sim) Scheme {
 		return NewThreadScan(sim, core.Config{BufferSize: 24, HelpFree: true, HelpFreeChunk: 8})
 	case "stacktrack":
 		return NewStackTrack(sim, StackTrackConfig{SegmentLen: 4, Batch: 24})
+	case "hyaline":
+		return NewHyaline(sim, HyalineConfig{Batch: 24})
 	default:
 		panic("unknown scheme " + name)
 	}
 }
 
 var reclaimingSchemes = []string{
-	"hazard", "epoch", "slow-epoch", "threadscan", "threadscan-help", "stacktrack",
+	"hazard", "epoch", "slow-epoch", "threadscan", "threadscan-help", "stacktrack", "hyaline",
 }
 
 // TestConformanceReclaimAll: every real scheme must, under a multi-
@@ -458,6 +460,7 @@ func TestSchemeNamesAndDisciplines(t *testing.T) {
 		{NewEpoch(s, EpochConfig{DelayCycles: 1}), "slow-epoch", DisciplineNone},
 		{NewThreadScan(s, core.Config{}), "threadscan", DisciplineNone},
 		{NewStackTrack(s, StackTrackConfig{}), "stacktrack", DisciplinePublish},
+		{NewHyaline(s, HyalineConfig{}), "hyaline", DisciplineEra},
 	}
 	for _, c := range cases {
 		if c.sc.Name() != c.name {

@@ -153,6 +153,7 @@ func (st *StackTrack) Retire(t *simt.Thread, addr uint64) {
 	start := t.Now()
 	t.Charge(st.sim.Config().Costs.Store)
 	st.stats.Retired++
+	st.stats.notePeak()
 	st.retired[id] = append(st.retired[id], addr&^7)
 	st.cfg.Obs.Observe(t, obs.StageRetire, t.Now()-start)
 }

@@ -48,6 +48,16 @@ func (s *ThreadScan) Protect(*simt.Thread, int, int) bool { return false }
 // pays for the whole phase.
 func (s *ThreadScan) Retire(t *simt.Thread, addr uint64) {
 	start := t.Now()
+	// Exact backlog peak: retired-minus-freed is at a local maximum the
+	// instant this node lands, before any collect the call triggers
+	// frees a batch.  Counted from the core totals rather than ring
+	// occupancy so orphaned rings and nodes popped mid-collect (out of
+	// the buffers but not yet freed) still count as garbage.  Host-side
+	// only; charges nothing.
+	c := s.ts.Stats()
+	if p := c.Frees + 1 - (c.Reclaimed + c.HelpFreed + c.DoubleRetires); p > s.stats.PeakRetired {
+		s.stats.PeakRetired = p
+	}
 	s.ts.Free(t, addr)
 	s.obs.Observe(t, obs.StageRetire, t.Now()-start)
 }
@@ -66,6 +76,7 @@ func (s *ThreadScan) Stats() Stats {
 	hs := s.sim.Heap().Stats()
 	return Stats{
 		Retired:            c.Frees,
+		PeakRetired:        s.stats.PeakRetired,
 		MaxPauseCycles:     s.obs.MaxPause(),
 		Freed:              c.Reclaimed + c.HelpFreed + c.DoubleRetires,
 		Pending:            uint64(s.ts.Buffered()),

@@ -187,9 +187,53 @@ func Builtins() []Scenario {
 	reallocLocal.AllocPolicy = "localalloc"
 	reallocLocal.Phases = []Phase{{Name: "ferry", Duration: 4_000_000, Mix: heavy}}
 
+	// Robust-reclamation adversaries (Hyaline/Crystalline lineage): a
+	// reader parked mid-operation, deaf to signals for the whole stall
+	// ("preempt"), while the other workers churn hard.  Epoch's grace
+	// periods and ThreadScan's scan barrier inherit the stall, so
+	// their retired backlog grows with its length; a robust scheme's
+	// peak stays bounded by what the victim actually entered.
+	preempted := quickBase("preempted-reader",
+		"one reader is descheduled mid-operation — deaf to signals for the stall — while the others churn")
+	preempted.Phases = []Phase{{Name: "preempted", Duration: 5_000_000, Mix: heavy}}
+	preempted.StallEvery = 100
+	preempted.StallCycles = 1_000_000
+	preempted.StallKind = "preempt"
+
+	// stalled-scanner is the robustness regression subject.  One reader
+	// parks mid-operation while everyone else churns; grace-period and
+	// scan-barrier schemes block their reclaimers on the victim, and
+	// the thread turnover keeps *fresh* mutators arriving for as long
+	// as the stall lasts — each one accumulates a buffer of garbage
+	// before it too hits its collect trigger and blocks.  Their peak
+	// retired garbage therefore grows with the stall length; a robust
+	// scheme frees every batch the victim never entered underneath it,
+	// so its peak stays put.
+	stalledScanner := quickBase("stalled-scanner",
+		"the robustness regression subject: a long mid-operation preemption under heavy churn and thread turnover — bounded-garbage schemes keep their peak, grace-period schemes grow with the stall")
+	stalledScanner.Phases = []Phase{{
+		Name: "churn", Duration: 8_000_000,
+		Mix: Mix{InsertPct: 30, RemovePct: 30},
+	}}
+	stalledScanner.Churn = &Churn{Workers: 3, Generations: 4}
+	stalledScanner.StallEvery = 400
+	stalledScanner.StallCycles = 2_000_000
+	stalledScanner.StallKind = "preempt"
+
+	overStalls := quickBase("oversubscribed-stalls",
+		"Stamp-it's oversubscription adversary: 3x more threads than cores and several of them preempted mid-operation")
+	overStalls.Threads = 24
+	overStalls.Cores = 8
+	overStalls.Phases = []Phase{{Name: "crowded-stalls", Duration: 5_000_000, Mix: heavy}}
+	overStalls.StallEvery = 150
+	overStalls.StallCycles = 1_500_000
+	overStalls.StallVictims = 3
+	overStalls.StallKind = "preempt"
+
 	return []Scenario{
 		baseline, zipf, hotspot, window, storm, burst, churn, over, overChurn,
 		split, balanced, perNodeReclaim, skewedRetire, membind, reallocLocal,
+		preempted, stalledScanner, overStalls,
 	}
 }
 

@@ -109,7 +109,7 @@ type Scenario struct {
 	Desc string
 
 	DS     string // list | hash | skiplist | stack | queue
-	Scheme string // leaky | hazard | epoch | slow-epoch | threadscan | stacktrack
+	Scheme string // any registered scheme (harness.SchemeNames)
 
 	Threads int // persistent workers
 	Cores   int // virtual cores (Threads > Cores = oversubscription)
@@ -204,6 +204,31 @@ type Scenario struct {
 	// block's home pool.  Inert on a flat machine (Nodes <= 1), where
 	// the heap keeps a single pool regardless.
 	AllocPolicy string
+
+	// Errant-thread injection (ablation A4 and the adversarial
+	// builtins): when StallCycles > 0, the first StallVictims
+	// persistent workers execute one empty operation stalled for
+	// StallCycles cycles every StallEvery completed operations.  The
+	// stall sits *inside* a BeginOp/EndOp bracket, the shape on which
+	// the robustness literature (Hyaline, Crystalline, Stamp-it)
+	// judges reclamation schemes: a reader parked mid-critical-
+	// section.  The injected op draws no randomness and records no
+	// trace entry, so op-stream digests stay scheme- and
+	// stall-independent.
+	//
+	// StallKind selects the stall primitive:
+	//
+	//	""/"work"  an application stall — the victim spins through
+	//	           preemptible work, still reaching safepoints, so
+	//	           scan signals are delivered mid-stall (the classic
+	//	           A4 shape, the paper's liveness claim)
+	//	"preempt"  a descheduled thread — the victim is deaf to
+	//	           signals for the whole stall, the adversarial shape
+	//	           the robust-reclamation builtins use
+	StallEvery   int
+	StallCycles  int64
+	StallVictims int
+	StallKind    string
 
 	// OpsPerWorker, when positive, switches the engine from the
 	// virtual-time deadline to a fixed operation budget: every worker
@@ -334,6 +359,25 @@ func (s *Scenario) Fill() error {
 			}
 		}
 	}
+	switch s.StallKind {
+	case "", "work", "preempt":
+	default:
+		return fmt.Errorf("workload: %s: unknown stall kind %q", s.Name, s.StallKind)
+	}
+	if s.StallCycles > 0 {
+		if s.StallEvery <= 0 {
+			s.StallEvery = 200
+		}
+		if s.StallVictims <= 0 {
+			s.StallVictims = 1
+		}
+		if s.StallVictims > s.Threads {
+			s.StallVictims = s.Threads
+		}
+		if s.StallKind == "" {
+			s.StallKind = "work"
+		}
+	}
 	if s.SampleEvery <= 0 {
 		s.SampleEvery = s.TotalDuration() / 64
 		if s.SampleEvery < 1 {
@@ -366,7 +410,8 @@ func (s *Scenario) WorkerGroupMix(i int) *Mix {
 }
 
 // Scale multiplies every duration-like knob by f (phase durations,
-// churn stagger/life, sampling interval), returning the scaled copy.
+// churn stagger/life, sampling interval, stall length), returning the
+// scaled copy.
 // Use it to stretch the quick-scale builtins toward paper-length runs.
 func (s Scenario) Scale(f float64) Scenario {
 	phases := make([]Phase, len(s.Phases))
@@ -383,6 +428,9 @@ func (s Scenario) Scale(f float64) Scenario {
 	}
 	if s.SampleEvery > 0 {
 		s.SampleEvery = int64(float64(s.SampleEvery) * f)
+	}
+	if s.StallCycles > 0 {
+		s.StallCycles = int64(float64(s.StallCycles) * f)
 	}
 	return s
 }
