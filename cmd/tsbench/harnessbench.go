@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"threadscan/internal/harness"
+	"threadscan/internal/obs"
 	"threadscan/internal/workload"
 )
 
@@ -97,6 +99,35 @@ func runHarnessBench(args []string) {
 	for _, a := range ablations {
 		timed(a.name, a.run)
 	}
+	timed("metrics", func() error {
+		spec, ok := workload.ByName("per-node-reclaim")
+		if !ok {
+			return fmt.Errorf("builtin per-node-reclaim missing")
+		}
+		spec = spec.Scale(*scale)
+		spec.Scheme, spec.Seed = "threadscan", *seed
+		spec.MetricsEvery = -1 // footprint cadence
+		r, err := harness.RunScenario(spec)
+		if err != nil {
+			return err
+		}
+		cell := obs.MetricsCell{Scenario: r.Name, DS: r.DS, Scheme: r.Scheme, Series: r.Metrics}
+		var buf bytes.Buffer
+		if err := obs.WriteMetricsJSON(&buf, []obs.MetricsCell{cell}); err != nil {
+			return err
+		}
+		cells, err := obs.ReadMetricsJSON(&buf)
+		if err != nil {
+			return err
+		}
+		// A metrics run must self-compare clean: any drift against its
+		// own export is a determinism or round-trip bug, not a perf
+		// regression, and fails the section outright.
+		if drifts := obs.DiffMetrics(cells, cells, 0.01); len(drifts) > 0 {
+			return fmt.Errorf("metrics self-diff drifted: %d series", len(drifts))
+		}
+		return nil
+	})
 	fmt.Fprintf(os.Stderr, "· %-20s %7.2fs\n", "total", row.TotalSec)
 
 	prior, err := readTrajectory(*jsonPath)

@@ -19,6 +19,10 @@
 //	tsbench scenarios -scenario delete-storm,thread-churn -ds stack,queue
 //	tsbench scenarios -json suite.json -samples   # with footprint series
 //
+//	tsbench scenarios -metrics m.json       # per-series virtual-time timelines
+//	tsbench timeline m.json                 # sparkline/table report of a metrics file
+//	tsbench metrics-diff old.json new.json  # flag steady-state drift between runs
+//
 //	tsbench harness-bench                   # append a wall-clock trajectory row
 //	tsbench harness-bench -check            # and fail on >2x regression
 package main
@@ -40,6 +44,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "harness-bench" {
 		runHarnessBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		runTimeline(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "metrics-diff" {
+		runMetricsDiff(os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threadscan/internal/obs"
+)
+
+// runTimeline is the `tsbench timeline` subcommand: render a metrics
+// JSON file (from `tsbench scenarios -metrics`) as per-series sparkline
+// rows with min/mean/max and the steady-window digest.
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	series := fs.String("series", "", "only render series whose name contains this substring")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tsbench timeline [flags] metrics.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cells, err := readMetricsFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteTimeline(os.Stdout, cells, *series); err != nil {
+		fatal(err)
+	}
+}
+
+// runMetricsDiff is the `tsbench metrics-diff` subcommand: the
+// cross-run regression reporter.  It compares two metrics JSON files
+// series by series on their steady-state windows and exits 1 when any
+// series drifted beyond the tolerance (or disappeared), 0 when clean —
+// a graded perf/robustness diff next to the BENCH replay's
+// bit-identical check.
+func runMetricsDiff(args []string) {
+	fs := flag.NewFlagSet("metrics-diff", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 0.10, "relative steady-mean shift allowed before a series is flagged")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tsbench metrics-diff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 {
+		fmt.Fprintf(os.Stderr, "tsbench metrics-diff: -tolerance %g: cannot be negative\n", *tol)
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldCells, err := readMetricsFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newCells, err := readMetricsFile(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	drifts := obs.DiffMetrics(oldCells, newCells, *tol)
+	if len(drifts) == 0 {
+		fmt.Printf("metrics-diff: %d cells compared, no series drifted beyond %.0f%%\n",
+			len(oldCells), *tol*100)
+		return
+	}
+	fmt.Printf("metrics-diff: %d series drifted beyond %.0f%%:\n", len(drifts), *tol*100)
+	if err := obs.WriteDriftTable(os.Stdout, drifts); err != nil {
+		fatal(err)
+	}
+	os.Exit(1)
+}
+
+func readMetricsFile(path string) ([]obs.MetricsCell, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cells, err := obs.ReadMetricsJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cells, nil
+}

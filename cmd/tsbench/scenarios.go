@@ -44,6 +44,9 @@ func runScenarios(args []string) {
 		quietTbl = fs.Bool("no-table", false, "suppress the human-readable table on stderr")
 		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (open in chrome://tracing or Perfetto)")
 		profile  = fs.Bool("profile", false, "print a per-stage cycle-attribution profile for every run on stderr")
+		metrics  = fs.String("metrics", "", "write per-series virtual-time timelines for every grid cell as JSON to this file (read back with `tsbench timeline` / `tsbench metrics-diff`)")
+		metCSV   = fs.String("metrics-csv", "", "also write the timelines in long CSV format (one row per point)")
+		metEvery = fs.Int64("metrics-every", 0, "metrics sampling interval in virtual cycles (0 = footprint cadence; only meaningful with -metrics/-metrics-csv)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tsbench scenarios [flags]")
@@ -103,9 +106,27 @@ func runScenarios(args []string) {
 		}
 		defer traceFile.Close()
 	}
+	// Same policy for the metrics outputs; -metrics-every without an
+	// output would silently sample into the void, so it is an error.
+	collectMetrics := *metrics != "" || *metCSV != ""
+	if *metEvery < 0 {
+		usageErr(fmt.Errorf("-metrics-every %d: interval cannot be negative", *metEvery))
+	}
+	if *metEvery > 0 && !collectMetrics {
+		usageErr(fmt.Errorf("-metrics-every needs an output: add -metrics out.json or -metrics-csv out.csv"))
+	}
+	metricsFile, err := createOutFile("-metrics", *metrics)
+	if err != nil {
+		usageErr(err)
+	}
+	metCSVFile, err := createOutFile("-metrics-csv", *metCSV)
+	if err != nil {
+		usageErr(err)
+	}
 
 	var results []harness.ScenarioResult
 	var traceRuns []obs.TraceRun
+	var metricCells []obs.MetricsCell
 	for _, base := range specs {
 		for _, dsName := range strings.Split(*dss, ",") {
 			for _, scheme := range strings.Split(*schemes, ",") {
@@ -140,6 +161,12 @@ func runScenarios(args []string) {
 				if *allocPol != "" {
 					spec.AllocPolicy = *allocPol
 				}
+				if collectMetrics {
+					spec.MetricsEvery = *metEvery
+					if spec.MetricsEvery == 0 {
+						spec.MetricsEvery = -1 // resolve to footprint cadence in Fill
+					}
+				}
 				rec := obs.NewRecorder()
 				if traceFile != nil {
 					rec = obs.NewTraceRecorder()
@@ -168,6 +195,14 @@ func runScenarios(args []string) {
 				if r.AccountingError != "" {
 					fmt.Fprintf(os.Stderr, "! %s %s/%s: %s\n", r.Name, r.DS, r.Scheme, r.AccountingError)
 				}
+				if collectMetrics {
+					metricCells = append(metricCells, obs.MetricsCell{
+						Scenario: r.Name, DS: r.DS, Scheme: r.Scheme, Series: r.Metrics,
+					})
+					// Timelines live in the metrics files; keep the results
+					// JSON the same shape with and without -metrics.
+					r.Metrics = nil
+				}
 				if !*samples {
 					r.Footprint.Samples = nil
 				}
@@ -187,6 +222,23 @@ func runScenarios(args []string) {
 			fatal(err)
 		}
 		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if metricsFile != nil {
+		if err := obs.WriteMetricsJSON(metricsFile, metricCells); err != nil {
+			fatal(err)
+		}
+		if err := metricsFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metCSVFile != nil {
+		if err := obs.WriteMetricsCSV(metCSVFile, metricCells); err != nil {
+			fatal(err)
+		}
+		if err := metCSVFile.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -235,6 +287,19 @@ func createTraceFile(path string) (*os.File, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("-trace: %w", err)
+	}
+	return f, nil
+}
+
+// createOutFile opens an optional output path up front (nil when the
+// flag is unset), wrapping failures as usage errors like -trace.
+func createOutFile(flagName, path string) (*os.File, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flagName, err)
 	}
 	return f, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"threadscan/internal/obs"
 	"threadscan/internal/reclaim"
 	"threadscan/internal/simt"
 )
@@ -73,18 +74,35 @@ type Footprint struct {
 // all threads, so a quiescent read is always consistent); the sampler
 // charges a token cost per sample so it occupies a core slot like a
 // real monitoring thread would.
+//
+// Storage lives in the metrics engine: the sampler pushes each point
+// into two PushedSeries — the first series migrated off ad-hoc slices
+// — and rebuilds the byte-compatible Footprint.Samples view from them
+// at teardown.  The sampling *thread* is unchanged (same spawn slot,
+// same 200-cycle charge, same cadence), so schedules and every derived
+// digest stay bit-identical to the pre-engine harness.
 type footprintSampler struct {
-	sim    *simt.Sim
-	scheme reclaim.Scheme
-	fp     Footprint
-	stop   bool
+	sim     *simt.Sim
+	scheme  reclaim.Scheme
+	fp      Footprint
+	stop    bool
+	garbSer *obs.PushedSeries
+	liveSer *obs.PushedSeries
 }
 
-func newFootprintSampler(sim *simt.Sim, scheme reclaim.Scheme, nodeWords int, every int64) *footprintSampler {
+// newFootprintSampler wires a sampler into m's registry.  A nil or
+// disabled engine (footprint telemetry predates the metrics flag and
+// is always on) gets a private one so there is a single storage path.
+func newFootprintSampler(sim *simt.Sim, scheme reclaim.Scheme, nodeWords int, every int64, m *obs.Metrics) *footprintSampler {
+	if !m.Enabled() {
+		m = obs.NewMetrics(0)
+	}
 	return &footprintSampler{
-		sim:    sim,
-		scheme: scheme,
-		fp:     Footprint{SampleEvery: every, NodeWords: nodeWords},
+		sim:     sim,
+		scheme:  scheme,
+		fp:      Footprint{SampleEvery: every, NodeWords: nodeWords},
+		garbSer: m.Pushed("footprint_garbage_nodes", obs.SeriesGauge),
+		liveSer: m.Pushed("footprint_live_words", obs.SeriesGauge),
 	}
 }
 
@@ -102,6 +120,26 @@ func (f *footprintSampler) run(th *simt.Thread) {
 	f.fp.FinalRetiredNodes = f.garbage()
 	if f.fp.ExactPeakRetiredNodes > f.fp.PeakRetiredNodes {
 		f.fp.PeakUndercountNodes = f.fp.ExactPeakRetiredNodes - f.fp.PeakRetiredNodes
+	}
+	f.rebuildSamples()
+}
+
+// rebuildSamples materializes the legacy Footprint.Samples view from
+// the pushed series, field for field what the ad-hoc slice held.
+func (f *footprintSampler) rebuildSamples() {
+	garb, live := f.garbSer.Points(), f.liveSer.Points()
+	if len(garb) == 0 {
+		return
+	}
+	f.fp.Samples = make([]FootprintSample, len(garb))
+	for i, p := range garb {
+		retired := uint64(p.V)
+		f.fp.Samples[i] = FootprintSample{
+			At:           p.At,
+			LiveWords:    uint64(live[i].V),
+			RetiredNodes: retired,
+			RetiredWords: retired * uint64(f.fp.NodeWords),
+		}
 	}
 }
 
@@ -125,18 +163,15 @@ func (f *footprintSampler) garbage() uint64 {
 func (f *footprintSampler) sample(th *simt.Thread) {
 	th.Charge(200) // counter reads + stores
 	retired := f.garbage()
-	s := FootprintSample{
-		At:           th.Now(),
-		LiveWords:    f.sim.Heap().Stats().LiveBytes / 8,
-		RetiredNodes: retired,
-		RetiredWords: retired * uint64(f.fp.NodeWords),
+	at := th.Now()
+	live := f.sim.Heap().Stats().LiveBytes / 8
+	f.garbSer.Put(at, float64(retired))
+	f.liveSer.Put(at, float64(live))
+	if live > f.fp.PeakLiveWords {
+		f.fp.PeakLiveWords = live
 	}
-	f.fp.Samples = append(f.fp.Samples, s)
-	if s.LiveWords > f.fp.PeakLiveWords {
-		f.fp.PeakLiveWords = s.LiveWords
-	}
-	if s.RetiredNodes > f.fp.PeakRetiredNodes {
-		f.fp.PeakRetiredNodes = s.RetiredNodes
-		f.fp.PeakRetiredWords = s.RetiredWords
+	if retired > f.fp.PeakRetiredNodes {
+		f.fp.PeakRetiredNodes = retired
+		f.fp.PeakRetiredWords = retired * uint64(f.fp.NodeWords)
 	}
 }

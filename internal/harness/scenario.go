@@ -85,6 +85,14 @@ type ScenarioResult struct {
 
 	Footprint Footprint `json:"footprint"`
 
+	// Metrics carries every named timeline the metrics engine sampled:
+	// one Series of (vcycle, value) points per registered source, in
+	// registration order, with steady-window digests precomputed.
+	// Present only when Scenario.MetricsEvery enabled the engine —
+	// sampling reads host-side state on clock ticks and never charges
+	// virtual cycles, so every other field is identical either way.
+	Metrics []obs.Series `json:"metrics,omitempty"`
+
 	// Latency is the observability summary for the run: per-op latency
 	// quantiles, max pause, and per-stage breakdowns.  Always present —
 	// RunScenario attaches a histogram-only recorder by default, which
@@ -463,6 +471,17 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		return ScenarioResult{}, err
 	}
 
+	// The metrics engine is always constructed — the footprint sampler
+	// stores its series through it — but the virtual-time ticker and
+	// the polled counter surface only attach when the scenario asked
+	// for timelines.  Ticking happens on the scheduler's clock-advance
+	// hook: host-side reads between thread quanta, zero virtual cost.
+	met := obs.NewMetrics(spec.MetricsEvery)
+	if spec.MetricsEvery > 0 {
+		registerScenarioMetrics(met, sim, sc, tsCore, rec)
+		sim.OnClockAdvance(met.Tick)
+	}
+
 	r := &scenarioRun{
 		spec:     &spec,
 		sim:      sim,
@@ -476,7 +495,7 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		ledgers:  make(map[int]*workload.ValueLedger),
 		mixOf:    make(map[int]*workload.Mix),
 		stalls:   make(map[int]bool),
-		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery),
+		sampler:  newFootprintSampler(sim, sc, nodeWords, spec.SampleEvery, met),
 	}
 	var cum int64
 	for _, p := range spec.Phases {
@@ -598,6 +617,9 @@ func RunScenarioRecorded(spec workload.Scenario, rec *obs.Recorder) (ScenarioRes
 		Heap:                sim.Heap().Stats(),
 		FinalSize:           target.Size(),
 		WallTime:            wallSince(wallStart),
+	}
+	if spec.MetricsEvery > 0 {
+		res.Metrics = met.Series()
 	}
 	if tsCore != nil {
 		st := tsCore.Stats()

@@ -92,11 +92,24 @@ func DefaultConfig() *Config {
 		TagCarriers: []string{"(*threadscan/internal/core.Ring).Push"},
 		TagMask:     7,
 
-		RecorderTypes: []string{"threadscan/internal/obs.Recorder"},
+		RecorderTypes: []string{
+			"threadscan/internal/obs.Recorder",
+			// The metrics engine and its push handles honor the same
+			// zero-cost contract on their sampling/read paths; source
+			// *registration* (Counter/Gauge/Rate/Quantile/Pushed) is
+			// cold-path setup and deliberately not listed.
+			"threadscan/internal/obs.Metrics",
+			"threadscan/internal/obs.PushedSeries",
+		},
 		RecorderHotMethods: []string{
 			"Begin", "BeginNode", "End", "Observe", "Window", "Instant",
 			"Alloc", "Free", "RemoteLineFill", "SignalSent", "RemoteFlush",
-			"InboxDrain",
+			"InboxDrain", "MergeStageInto",
+			// Metrics engine sampling and in-run read paths.
+			"Tick", "sample", "Ticks", "Latest", "LatestDelta", "SlopeOver",
+			"points",
+			// PushedSeries hot surface.
+			"Put", "Points",
 		},
 		RecorderCallerPackages: []string{
 			"threadscan/internal/core",

@@ -9,8 +9,8 @@ import (
 
 func obszerocostConfig() *lint.Config {
 	return &lint.Config{
-		RecorderTypes:          []string{"obszerocost.Recorder"},
-		RecorderHotMethods:     []string{"Begin", "End", "Note", "Observe", "Enabled"},
+		RecorderTypes:          []string{"obszerocost.Recorder", "obszerocost.Sampler"},
+		RecorderHotMethods:     []string{"Begin", "End", "Note", "Observe", "Enabled", "Tick", "Sample", "Latest", "Put"},
 		RecorderCallerPackages: []string{"obszerocost"},
 	}
 }

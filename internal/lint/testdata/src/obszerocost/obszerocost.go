@@ -74,6 +74,65 @@ func (r *Recorder) Mark(s span) {
 	r.count++
 }
 
+// --- metrics-engine mirror ------------------------------------------
+// Sampler mirrors the metrics engine's registry shape: the same
+// zero-cost contract applies to its sampling-path methods.
+
+type point struct {
+	at int64
+	v  float64
+}
+
+type Sampler struct {
+	enabled bool
+	nextAt  int64
+	every   int64
+	pts     []point
+}
+
+// Tick is well formed: guard first, boundary loop, plain composite
+// literals through append (no heap escape beyond slice growth).
+func (s *Sampler) Tick(now int64) {
+	if s == nil || !s.enabled {
+		return
+	}
+	for now >= s.nextAt {
+		s.pts = append(s.pts, point{at: s.nextAt})
+		s.nextAt += s.every
+	}
+}
+
+// Sample is missing the guard: a disabled sampler would still append.
+func (s *Sampler) Sample(at int64) { // want "recorder hot method Sample does not open with the nil/enabled guard"
+	s.pts = append(s.pts, point{at: at})
+}
+
+// Latest is guarded but builds a closure on the read path.
+func (s *Sampler) Latest(name string) float64 {
+	if s == nil || !s.enabled {
+		return 0
+	}
+	pick := func() float64 { return s.pts[len(s.pts)-1].v } // want "closure inside recorder hot method Latest"
+	return pick()
+}
+
+// Put is guarded but labels its point with fmt on every call.
+func (s *Sampler) Put(at int64, v float64) {
+	if s == nil || !s.enabled {
+		return
+	}
+	_ = fmt.Sprintf("put@%d", at) // want "fmt.Sprintf inside recorder hot method Put"
+	s.pts = append(s.pts, point{at, v})
+}
+
+// register is cold-path setup, not in the hot-method list: closures
+// and allocation are fine here (the real engine registers sources
+// exactly this way).
+func (s *Sampler) register(read func() float64) *Sampler {
+	_ = read
+	return &Sampler{enabled: true}
+}
+
 // --- call sites (this package is also in RecorderCallerPackages) ----
 
 func callers(r *Recorder, name string, id int) {

@@ -70,6 +70,15 @@ func (h *Hist) Observe(v int64) {
 	}
 }
 
+// Reset empties the histogram in place without allocating, so the
+// metrics engine can reuse one Hist per quantile source per window.
+func (h *Hist) Reset() {
+	h.counts = [histBuckets]int64{}
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+}
+
 // Count returns the number of observations.
 func (h *Hist) Count() int64 { return h.n }
 

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Metrics export, the sparkline timeline report, and the cross-run
+// regression differ.  All writers take io.Writer — file handling is
+// cmd/ business, same split as the Chrome-trace exporter.
+
+// MetricsCell is one grid cell's timelines: a scenario/ds/scheme
+// coordinate plus every series the run's engine sampled.
+type MetricsCell struct {
+	Scenario string   `json:"scenario"`
+	DS       string   `json:"ds"`
+	Scheme   string   `json:"scheme"`
+	Series   []Series `json:"series"`
+}
+
+// Label returns the cell's display coordinate.
+func (c MetricsCell) Label() string {
+	return fmt.Sprintf("%s %s/%s", c.Scenario, c.DS, c.Scheme)
+}
+
+// WriteMetricsJSON writes cells as indented JSON — the interchange
+// format tsbench timeline and tsbench metrics-diff read back.
+func WriteMetricsJSON(w io.Writer, cells []MetricsCell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
+}
+
+// ReadMetricsJSON reads a WriteMetricsJSON document.
+func ReadMetricsJSON(r io.Reader) ([]MetricsCell, error) {
+	var cells []MetricsCell
+	if err := json.NewDecoder(r).Decode(&cells); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// WriteMetricsCSV writes cells in long format — one row per point —
+// for spreadsheet/pandas plotting:
+// scenario,ds,scheme,series,kind,at_cycles,value.
+func WriteMetricsCSV(w io.Writer, cells []MetricsCell) error {
+	if _, err := fmt.Fprintln(w, "scenario,ds,scheme,series,kind,at_cycles,value"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		for _, s := range c.Series {
+			for _, p := range s.Points {
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%d,%g\n",
+					c.Scenario, c.DS, c.Scheme, s.Name, s.Kind, p.At, p.V); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Cross-run regression diff.
+
+// Drift is one flagged difference between two runs' timelines.
+type Drift struct {
+	Cell   string  // cell label, "scenario ds/scheme"
+	Series string  // series name, "" for whole-cell problems
+	Reason string  // "steady-mean" | "missing-series" | "missing-cell"
+	Old    float64 // old steady mean (when applicable)
+	New    float64 // new steady mean
+	Shift  float64 // relative shift that tripped the tolerance
+}
+
+// DiffNoiseFloor is the absolute steady-mean level below which series
+// are not compared: a series idling within one unit per window (a
+// stray steal, a single remote fill) is noise, not a regression.
+const DiffNoiseFloor = 1.0
+
+// DiffMetrics compares two exported metric sets and returns every
+// drift: a series whose steady-state mean (windowed deltas for
+// counters, levels otherwise — see Series.Steady) shifted by more than
+// tol relative to the larger magnitude, a series present in old but
+// missing from new, or a whole cell missing from new.  Cells are
+// matched by (scenario, ds, scheme); extra cells or series in new are
+// ignored (growing coverage is not a regression).  Self-comparison
+// returns nil.
+func DiffMetrics(oldCells, newCells []MetricsCell, tol float64) []Drift {
+	newByKey := map[string]MetricsCell{}
+	for _, c := range newCells {
+		newByKey[c.Scenario+"\x00"+c.DS+"\x00"+c.Scheme] = c
+	}
+	var drifts []Drift
+	for _, oc := range oldCells {
+		nc, ok := newByKey[oc.Scenario+"\x00"+oc.DS+"\x00"+oc.Scheme]
+		if !ok {
+			drifts = append(drifts, Drift{Cell: oc.Label(), Reason: "missing-cell"})
+			continue
+		}
+		newSeries := map[string]Series{}
+		for _, s := range nc.Series {
+			newSeries[s.Name] = s
+		}
+		for _, os := range oc.Series {
+			ns, ok := newSeries[os.Name]
+			if !ok {
+				drifts = append(drifts, Drift{Cell: oc.Label(), Series: os.Name, Reason: "missing-series"})
+				continue
+			}
+			om, nm := os.SteadyMean, ns.SteadyMean
+			base := math.Max(math.Abs(om), math.Abs(nm))
+			if base < DiffNoiseFloor {
+				continue // both idle at noise level
+			}
+			shift := math.Abs(nm-om) / base
+			if shift > tol {
+				drifts = append(drifts, Drift{
+					Cell: oc.Label(), Series: os.Name, Reason: "steady-mean",
+					Old: om, New: nm, Shift: shift,
+				})
+			}
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool {
+		if drifts[i].Shift != drifts[j].Shift {
+			return drifts[i].Shift > drifts[j].Shift
+		}
+		if drifts[i].Cell != drifts[j].Cell {
+			return drifts[i].Cell < drifts[j].Cell
+		}
+		return drifts[i].Series < drifts[j].Series
+	})
+	return drifts
+}
+
+// WriteDriftTable renders drifts, worst shift first.
+func WriteDriftTable(w io.Writer, drifts []Drift) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cell\tseries\treason\told\tnew\tshift")
+	for _, d := range drifts {
+		switch d.Reason {
+		case "steady-mean":
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.4g\t%.4g\t%+.1f%%\n",
+				d.Cell, d.Series, d.Reason, d.Old, d.New, 100*(d.New-d.Old)/math.Max(math.Abs(d.Old), DiffNoiseFloor))
+		default:
+			fmt.Fprintf(tw, "%s\t%s\t%s\t-\t-\t-\n", d.Cell, d.Series, d.Reason)
+		}
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------------
+// Timeline report.
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a fixed-height unicode strip, scaled
+// min..max per series (a flat series renders as all-▁).
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if width > 0 && len(vals) > width {
+		// Downsample by bucketing: each output rune is the mean of its
+		// span, so spikes shrink but trends survive.
+		buck := make([]float64, width)
+		for i := range buck {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			buck[i] = sum / float64(hi-lo)
+		}
+		vals = buck
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if mx > mn {
+			idx = int((v - mn) / (mx - mn) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// WriteTimeline renders every cell's series as sparkline rows with
+// min/mean/max and the steady-window digest.  Counters are rendered as
+// their windowed deltas — the level view of "how fast", matching what
+// the differ compares.  filter, when non-empty, keeps only series
+// whose name contains it.
+func WriteTimeline(w io.Writer, cells []MetricsCell, filter string) error {
+	for ci, c := range cells {
+		if ci > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s\n", c.Label())
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  series\tkind\tn\ttimeline\tmin\tmean\tmax\tsteady\tslope/Mcyc")
+		for _, s := range c.Series {
+			if filter != "" && !strings.Contains(s.Name, filter) {
+				continue
+			}
+			pts := s.Points
+			if s.Kind == SeriesCounter.String() {
+				pts = s.Deltas()
+			}
+			vals := Series{Points: pts}.Values()
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, v := range vals {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			if len(vals) == 0 {
+				mn, mx = 0, 0
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t%s\t%.4g\t%.4g\t%.4g\t%.4g\t%+.3g\n",
+				s.Name, s.Kind, len(s.Points), sparkline(vals, 48),
+				mn, meanOf(pts), mx, s.SteadyMean, s.SteadySlope)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

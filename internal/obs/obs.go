@@ -409,6 +409,22 @@ func (r *Recorder) StageHist(s Stage) *Hist {
 	return h
 }
 
+// MergeStageInto merges every thread's histogram for s into a
+// caller-owned Hist.  The non-allocating sibling of StageHist: the
+// metrics engine calls it once per sampling window to snapshot the
+// cumulative distribution, so it is part of the zero-cost hot surface
+// (guarded, and the caller preallocates the destination).
+func (r *Recorder) MergeStageInto(s Stage, into *Hist) {
+	if r == nil || !r.enabled {
+		return
+	}
+	for _, tr := range r.threads {
+		if tr != nil && tr.stats[s].hist != nil {
+			into.Merge(tr.stats[s].hist)
+		}
+	}
+}
+
 // StageCount returns the total observation count for s across threads.
 func (r *Recorder) StageCount(s Stage) int64 {
 	if r == nil || !r.enabled {

@@ -1,0 +1,107 @@
+package obs
+
+// Series analysis: windowed views, least-squares slopes, and the
+// steady-state digest the cross-run regression differ compares.  These
+// are cold-path methods on exported timelines — nothing here runs
+// while a simulation is live.
+
+// Values returns the raw sample values in time order.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Deltas returns the per-window changes of a series: for n points it
+// yields n-1 points, each stamped at the later sample's time.  For
+// counters this recovers the windowed rate; for other kinds it is the
+// first difference.
+func (s Series) Deltas() []Point {
+	if len(s.Points) < 2 {
+		return nil
+	}
+	out := make([]Point, len(s.Points)-1)
+	for i := 1; i < len(s.Points); i++ {
+		out[i-1] = Point{s.Points[i].At, s.Points[i].V - s.Points[i-1].V}
+	}
+	return out
+}
+
+// Window returns the points with start <= At < end.
+func (s Series) Window(start, end int64) []Point {
+	var out []Point
+	for _, p := range s.Points {
+		if p.At >= start && p.At < end {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the sample values (0 if empty).
+func (s Series) Mean() float64 { return meanOf(s.Points) }
+
+// Slope returns the least-squares slope of the full series in value
+// per million virtual cycles (0 with fewer than two points).
+func (s Series) Slope() float64 { return slopeOf(s.Points) }
+
+// SteadyStat digests a series' steady-state window.
+type SteadyStat struct {
+	Mean   float64 // mean level over the window
+	Slope  float64 // least-squares slope, value per Mcycle
+	Points int     // samples in the window
+}
+
+// Steady digests the steady-state window: the last half of the
+// timeline, past warmup transients.  Counters are judged on their
+// windowed deltas (the rate is the steady quantity, not the
+// ever-growing total); gauges, rates, and quantiles on raw values.
+// This is the quantity DiffMetrics compares across runs.
+func (s Series) Steady() SteadyStat {
+	pts := s.Points
+	if s.Kind == SeriesCounter.String() {
+		pts = s.Deltas()
+	}
+	if len(pts) > 3 {
+		pts = pts[len(pts)/2:]
+	}
+	return SteadyStat{Mean: meanOf(pts), Slope: slopeOf(pts), Points: len(pts)}
+}
+
+func meanOf(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.V
+	}
+	return sum / float64(len(pts))
+}
+
+// slopeOf is the least-squares slope over (At, V), reported in value
+// per million virtual cycles so steady slopes land in a human scale.
+// Times are centered before the fit to keep the arithmetic well
+// conditioned far from t=0.
+func slopeOf(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	var tMean float64
+	for _, p := range pts {
+		tMean += float64(p.At)
+	}
+	tMean /= float64(len(pts))
+	var num, den float64
+	for _, p := range pts {
+		dt := float64(p.At) - tMean
+		num += dt * p.V
+		den += dt * dt
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den * 1e6
+}

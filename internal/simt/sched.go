@@ -44,7 +44,8 @@ type Sim struct {
 
 	probe Probe // observability hooks; nil when detached
 
-	clock int64 // high-water mark of virtual time
+	clock   int64           // high-water mark of virtual time
+	advance func(now int64) // host-side clock-advance hook; nil when detached
 
 	stats SimStats
 }
@@ -120,6 +121,15 @@ func (s *Sim) Seconds(cycles int64) float64 { return float64(cycles) / float64(s
 
 // Stats returns scheduler counters.
 func (s *Sim) Stats() SimStats { return s.stats }
+
+// OnClockAdvance installs a host-side hook invoked from the dispatch
+// loop whenever the virtual high-water clock advances, with the new
+// clock value.  The hook runs between thread quanta on the scheduler
+// goroutine — never concurrently with a simulated thread — and must
+// only *read* simulation state: it cannot charge cycles, so installing
+// one (the metrics engine's ticker) cannot perturb the schedule.
+// Unset, the cost is one nil comparison per dispatch.
+func (s *Sim) OnClockAdvance(fn func(now int64)) { s.advance = fn }
 
 // Threads returns all spawned threads, in spawn order.
 func (s *Sim) Threads() []*Thread { return s.threads }
@@ -307,6 +317,9 @@ func (s *Sim) Run() error {
 		s.coreFree[core] = t.now
 		if t.now > s.clock {
 			s.clock = t.now
+			if s.advance != nil {
+				s.advance(s.clock)
+			}
 		}
 		if s.cfg.MaxCycles > 0 && s.clock > s.cfg.MaxCycles {
 			s.done = true

@@ -272,3 +272,47 @@ func TestStartAndExitHooksRunInOrder(t *testing.T) {
 		t.Fatalf("hook order: %v", events)
 	}
 }
+
+func TestOnClockAdvanceHook(t *testing.T) {
+	// The hook fires on every high-water advance with monotonically
+	// increasing times, ending at the final clock — and installing a
+	// read-only hook must not move any virtual result.
+	cfg := testConfig()
+	body := func(s *Sim) {
+		for i := 0; i < 3; i++ {
+			s.Spawn("w", func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					th.Work(777)
+					th.Yield()
+				}
+			})
+		}
+	}
+
+	bare := New(cfg)
+	body(bare)
+	mustRun(t, bare)
+
+	hooked := New(cfg)
+	body(hooked)
+	var seen []int64
+	hooked.OnClockAdvance(func(now int64) { seen = append(seen, now) })
+	mustRun(t, hooked)
+
+	if len(seen) == 0 {
+		t.Fatal("hook never fired")
+	}
+	last := int64(0)
+	for i, now := range seen {
+		if now <= last {
+			t.Fatalf("hook time %d at index %d not above previous %d", now, i, last)
+		}
+		last = now
+	}
+	if last != hooked.Clock() {
+		t.Errorf("final hook time %d != final clock %d", last, hooked.Clock())
+	}
+	if hooked.Clock() != bare.Clock() {
+		t.Errorf("hook changed the schedule: clock %d != %d", hooked.Clock(), bare.Clock())
+	}
+}

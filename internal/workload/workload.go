@@ -245,6 +245,15 @@ type Scenario struct {
 	HeapWords   int
 	SampleEvery int64 // footprint sampling interval (0 = duration/64)
 
+	// MetricsEvery is the metrics-engine sampling interval in virtual
+	// cycles: every timeline series gets one point per interval.  0
+	// leaves the engine off (the default — results stay byte-identical
+	// to pre-metrics runs), -1 resolves to the footprint cadence
+	// (SampleEvery after its default), and any positive value is used
+	// as-is.  Sampling reads host-side state only, so enabling it never
+	// changes ops, cycles, or trace hashes.
+	MetricsEvery int64
+
 	// Chaos enables the scheduler's seeded adversarial mode: eligible
 	// threads are picked uniformly at random (still deterministically,
 	// from the seed) instead of FIFO, and quanta jitter.  For stress
@@ -384,6 +393,9 @@ func (s *Scenario) Fill() error {
 			s.SampleEvery = 1
 		}
 	}
+	if s.MetricsEvery < 0 {
+		s.MetricsEvery = s.SampleEvery
+	}
 	return nil
 }
 
@@ -428,6 +440,9 @@ func (s Scenario) Scale(f float64) Scenario {
 	}
 	if s.SampleEvery > 0 {
 		s.SampleEvery = int64(float64(s.SampleEvery) * f)
+	}
+	if s.MetricsEvery > 0 {
+		s.MetricsEvery = int64(float64(s.MetricsEvery) * f)
 	}
 	if s.StallCycles > 0 {
 		s.StallCycles = int64(float64(s.StallCycles) * f)

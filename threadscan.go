@@ -336,3 +336,53 @@ func WriteChromeTrace(w io.Writer, runs []TraceRun) error { return obs.WriteChro
 func WriteProfile(w io.Writer, label string, rec *Recorder) error {
 	return obs.WriteProfile(w, label, rec)
 }
+
+// Virtual-time metrics engine (internal/obs): named counter/gauge/rate/
+// quantile timelines sampled on virtual-clock ticks.  Set
+// Scenario.MetricsEvery (-1 for the footprint cadence) and every
+// ScenarioResult carries the run's series; like the Recorder, sampling
+// never charges virtual cycles, so results are bit-identical with
+// metrics on or off.
+type (
+	// Metrics is a per-run metrics registry and its sampled timelines.
+	// A nil or zero-value Metrics is disabled and allocates nothing.
+	Metrics = obs.Metrics
+	// MetricSeries is one named timeline with its steady-state digest
+	// (ScenarioResult.Metrics).
+	MetricSeries = obs.Series
+	// MetricPoint is one (virtual cycle, value) sample.
+	MetricPoint = obs.Point
+	// MetricsCell labels one grid cell's series for export and diffing.
+	MetricsCell = obs.MetricsCell
+	// MetricsDrift is one flagged series shift from DiffMetrics.
+	MetricsDrift = obs.Drift
+)
+
+// NewMetrics returns an enabled registry sampling every `every` virtual
+// cycles (pass 0 to disable the ticker).
+func NewMetrics(every int64) *Metrics { return obs.NewMetrics(every) }
+
+// WriteMetricsJSON / ReadMetricsJSON round-trip exported metrics cells
+// (the `tsbench scenarios -metrics` format).
+func WriteMetricsJSON(w io.Writer, cells []MetricsCell) error { return obs.WriteMetricsJSON(w, cells) }
+
+// ReadMetricsJSON parses a metrics export written by WriteMetricsJSON.
+func ReadMetricsJSON(r io.Reader) ([]MetricsCell, error) { return obs.ReadMetricsJSON(r) }
+
+// WriteMetricsCSV writes the cells as long-format CSV (one row per
+// point).
+func WriteMetricsCSV(w io.Writer, cells []MetricsCell) error { return obs.WriteMetricsCSV(w, cells) }
+
+// DiffMetrics compares two metrics exports cell by cell and returns the
+// series whose steady-state mean shifted beyond tol (the `tsbench
+// metrics-diff` engine).
+func DiffMetrics(old, new []MetricsCell, tol float64) []MetricsDrift {
+	return obs.DiffMetrics(old, new, tol)
+}
+
+// WriteTimeline renders the cells' series as sparkline tables (the
+// `tsbench timeline` report).  filter selects series by substring; ""
+// keeps all.
+func WriteTimeline(w io.Writer, cells []MetricsCell, filter string) error {
+	return obs.WriteTimeline(w, cells, filter)
+}
